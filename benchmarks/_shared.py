@@ -1,0 +1,89 @@
+"""Shared fixtures and helpers for the pytest-benchmark suite.
+
+Every benchmark file regenerates one table or figure of the paper's
+Section 6 (see DESIGN.md §4 for the index).  Scales are chosen so the
+whole suite finishes in a few minutes of pure Python; the companion
+harness ``python -m repro.bench`` prints the full paper-style tables.
+
+Prepared scenarios (graph + batch fixpoint + ΔG) are cached per module
+so repeated benchmark rounds only pay for copies.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Tuple
+
+from repro.bench.runners import ALL_SETUPS, undirected_view
+from repro.datasets import load as load_dataset
+from repro.generators import random_updates
+from repro.graph import Graph, TemporalGraph
+
+SCALE = 0.5
+
+
+@lru_cache(maxsize=None)
+def dataset_graph(name: str, query_class: str, scale: float = SCALE) -> Graph:
+    data = load_dataset(name, scale)
+    if isinstance(data, TemporalGraph):
+        first, last = data.time_span
+        data = data.snapshot((first + last) / 2)
+    if ALL_SETUPS[query_class].undirected_only:
+        data = undirected_view(data)
+    return data
+
+
+@lru_cache(maxsize=None)
+def prepared(name: str, query_class: str, delta_pct: float, seed: int = 1, scale: float = SCALE):
+    """(graph, query, base_state, delta) for one scenario, cached."""
+    setup = ALL_SETUPS[query_class]
+    graph = dataset_graph(name, query_class, scale)
+    query = setup.make_query(graph)
+    state = setup.batch_factory().run(graph.copy(), query)
+    delta = random_updates(graph, max(1, int(delta_pct * graph.size)), seed=seed)
+    return graph, query, state, delta
+
+
+def bench_incremental(benchmark, query_class: str, scenario, inc_factory=None, rounds: int = 3):
+    """Benchmark one incremental application with fresh copies per round."""
+    setup = ALL_SETUPS[query_class]
+    graph, query, state, delta = scenario
+    factory = inc_factory or setup.inc_factory
+
+    def prepare():
+        return (factory(), graph.copy(), state.copy(), delta, query), {}
+
+    def run(algo, g, s, d, q):
+        return algo.apply(g, s, d, q)
+
+    benchmark.pedantic(run, setup=prepare, rounds=rounds, iterations=1)
+
+
+def bench_batch_rerun(benchmark, query_class: str, scenario, rounds: int = 3):
+    """Benchmark recomputing from scratch on G ⊕ ΔG."""
+    from repro.graph import updated_copy
+
+    setup = ALL_SETUPS[query_class]
+    graph, query, _state, delta = scenario
+    new_graph = updated_copy(graph, delta)
+
+    def run():
+        return setup.batch_factory().run(new_graph, query)
+
+    benchmark.pedantic(run, rounds=rounds, iterations=1)
+
+
+def bench_competitor(benchmark, query_class: str, scenario, unit: bool = False, rounds: int = 3):
+    """Benchmark a stateful dynamic baseline applying ΔG."""
+    setup = ALL_SETUPS[query_class]
+    graph, query, _state, delta = scenario
+
+    def prepare():
+        algo = setup.competitor_for_unit_updates() if unit else setup.competitor_factory()
+        algo.build(graph.copy(), query)
+        return (algo, delta), {}
+
+    def run(algo, d):
+        algo.apply(d)
+
+    benchmark.pedantic(run, setup=prepare, rounds=rounds, iterations=1)

@@ -1,0 +1,58 @@
+"""Ablation (DESIGN.md §5): the Figure-4 scope function vs Theorem 1's reset.
+
+The brute-force deducible IncCC of Example 2 resets every PE variable —
+entire components — on a deletion; the bounded h of Figure 4 repairs
+only along broken anchor chains.  This is the paper's own motivating
+pathology for Section 4 (``NaiveIncCC`` vs ``IncCC``), and the second
+ablation contrasts batch application with the unit-update loop.
+"""
+
+import pytest
+
+from _shared import dataset_graph
+from repro.algorithms import CCfp, IncCC
+from repro.algorithms.cc import NaiveIncCC
+from repro.baselines import UnitLoop
+from repro.generators import random_updates
+
+
+def _scenario(n_deletions=4):
+    graph = dataset_graph("OKT", "CC", 0.25)
+    state = CCfp().run(graph.copy())
+    delta = random_updates(graph, n_deletions, insert_fraction=0.0, seed=81)
+    return graph, state, delta
+
+
+@pytest.mark.parametrize(
+    "factory", [IncCC, NaiveIncCC], ids=["figure4-h", "example2-reset"]
+)
+def test_scope_function_vs_pe_reset(benchmark, factory):
+    benchmark.group = "ablation-scope-function"
+    graph, state, delta = _scenario()
+
+    def prepare():
+        return (factory(), graph.copy(), state.copy()), {}
+
+    def run(algo, g, s):
+        algo.apply(g, s, delta)
+
+    benchmark.pedantic(run, setup=prepare, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize(
+    "batched", [True, False], ids=["whole-batch", "unit-at-a-time"]
+)
+def test_batching_ablation(benchmark, batched):
+    benchmark.group = "ablation-batching"
+    graph = dataset_graph("OKT", "CC", 0.25)
+    state = CCfp().run(graph.copy())
+    delta = random_updates(graph, max(1, graph.size // 50), seed=82)
+
+    def prepare():
+        algo = IncCC() if batched else UnitLoop(IncCC())
+        return (algo, graph.copy(), state.copy()), {}
+
+    def run(algo, g, s):
+        algo.apply(g, s, delta)
+
+    benchmark.pedantic(run, setup=prepare, rounds=3, iterations=1)

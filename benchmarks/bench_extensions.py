@@ -1,0 +1,64 @@
+"""Extensions of the class Φ (SSWP, Reach, Coreness) — batch vs deduced.
+
+Not part of the paper's evaluation; these benchmark the framework on
+the query classes we added per the paper's "extending Φ" future work,
+using the same batch-vs-incremental protocol as Figure 7.
+"""
+
+import pytest
+
+from _shared import dataset_graph
+from repro.algorithms.bc import BCfp, IncBC
+from repro.algorithms.coreness import CorenessFp, IncCoreness
+from repro.algorithms.reach import IncReach, Reachability
+from repro.algorithms.sswp import IncSSWP, WidestPath
+from repro.generators import random_updates
+from repro.generators.random_graphs import largest_component_root
+from repro.graph import updated_copy
+
+PAIRS = {
+    "SSWP": (WidestPath, IncSSWP, "TW", True),
+    "Reach": (Reachability, IncReach, "TW", True),
+    "Coreness": (CorenessFp, IncCoreness, "OKT", False),
+    "BC": (BCfp, IncBC, "LJ", False),
+}
+DELTA = 0.02
+
+
+def _scenario(name):
+    batch_factory, inc_factory, dataset, needs_source = PAIRS[name]
+    query_class = "CC" if not needs_source else "SSSP"  # reuse directedness handling
+    graph = dataset_graph(dataset, query_class)
+    query = largest_component_root(graph) if needs_source else None
+    state = batch_factory().run(graph.copy(), query)
+    delta = random_updates(graph, max(1, int(DELTA * graph.size)), seed=5)
+    return batch_factory, inc_factory, graph, query, state, delta
+
+
+@pytest.mark.parametrize("name", list(PAIRS))
+def test_batch_recompute(benchmark, name):
+    benchmark.group = f"extensions-{name}"
+    batch_factory, _inc, graph, query, _state, delta = _scenario(name)
+    new_graph = updated_copy(graph, delta)
+
+    def run():
+        batch_factory().run(new_graph, query)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("name", list(PAIRS))
+def test_deduced_incremental(benchmark, name):
+    import copy
+
+    benchmark.group = f"extensions-{name}"
+    _batch, inc_factory, graph, query, state, delta = _scenario(name)
+    clone = state.copy if hasattr(state, "copy") else (lambda: copy.deepcopy(state))
+
+    def prepare():
+        return (inc_factory(), graph.copy(), clone(), delta, query), {}
+
+    def run(algo, g, s, d, q):
+        algo.apply(g, s, d, q)
+
+    benchmark.pedantic(run, setup=prepare, rounds=3, iterations=1)

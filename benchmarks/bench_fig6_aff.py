@@ -1,0 +1,46 @@
+"""Exp-1(c): the affected area of unit updates is a tiny share of |Ψ|.
+
+The paper reports |AFF| between 1.7·10⁻⁶% and 2.6·10⁻³% of the auxiliary
+structures on OKT for unit updates.  This benchmark times the AFF
+computation itself and records the measured shares plus the C1 check
+(H⁰ ⊆ AFF) in the benchmark's extra_info.
+"""
+
+import statistics
+
+import pytest
+
+from _shared import ALL_SETUPS, dataset_graph
+from repro.algorithms.cc import CCSpec
+from repro.algorithms.lcc import LCCSpec
+from repro.algorithms.sim import SimSpec
+from repro.algorithms.sssp import SSSPSpec
+from repro.core import verify_relative_boundedness
+from repro.generators import random_updates
+
+SPECS = {"SSSP": SSSPSpec, "CC": CCSpec, "Sim": SimSpec, "LCC": LCCSpec}
+
+
+@pytest.mark.parametrize("query_class", list(SPECS))
+def test_aff_share_for_unit_updates(benchmark, query_class):
+    benchmark.group = "fig6-aff"
+    spec = SPECS[query_class]()
+    setup = ALL_SETUPS[query_class]
+    graph = dataset_graph("OKT", query_class, 0.2)
+    query = setup.make_query(graph)
+    deltas = [random_updates(graph, 1, seed=10 + i) for i in range(4)]
+
+    shares, bounded = [], []
+
+    def run():
+        shares.clear()
+        bounded.clear()
+        for delta in deltas:
+            report = verify_relative_boundedness(spec, graph, delta, query)
+            shares.append(report.aff_share)
+            bounded.append(report.scope_bounded)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["mean_aff_share_pct"] = 100.0 * statistics.mean(shares)
+    benchmark.extra_info["h_scope_bounded"] = all(bounded)
+    assert all(bounded), "C1 violated: H⁰ ⊄ AFF"

@@ -1,0 +1,72 @@
+"""Figure 6 (a)–(j): unit edge insertions and deletions, per query class.
+
+The paper samples 10000 unit updates per real-life graph and reports the
+average time per update for the deduced IncX against the fine-tuned
+dynamic competitor (RR, DynCC, IncMatch, DynDFS, DynLCC).  Here each
+benchmark times a stream of unit updates on two representative proxy
+datasets; the full six-dataset sweep is printed by
+``python -m repro.bench`` (exp1_unit_updates).
+
+Shape target: IncX per-unit times are small and roughly flat across
+datasets; DynCC-style structures pay heavy per-deletion costs.
+"""
+
+import pytest
+
+from _shared import ALL_SETUPS, dataset_graph
+from repro.generators import random_updates
+
+N_UPDATES = 20
+DATASETS = ["LJ", "TW"]
+CLASSES = ["SSSP", "CC", "Sim", "DFS", "LCC"]
+
+
+def _unit_stream(graph, inserts: bool):
+    return list(
+        random_updates(
+            graph, N_UPDATES, insert_fraction=1.0 if inserts else 0.0, seed=3
+        ).unit_batches()
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("query_class", CLASSES)
+@pytest.mark.parametrize("inserts", [True, False], ids=["insert", "delete"])
+def test_deduced_unit_updates(benchmark, query_class, dataset, inserts):
+    benchmark.group = f"fig6-{query_class}-{dataset}-{'ins' if inserts else 'del'}"
+    setup = ALL_SETUPS[query_class]
+    graph = dataset_graph(dataset, query_class)
+    query = setup.make_query(graph)
+    units = _unit_stream(graph, inserts)
+    state = setup.batch_factory().run(graph.copy(), query)
+
+    def prepare():
+        return (setup.inc_factory(), graph.copy(), state.copy()), {}
+
+    def run(algo, g, s):
+        for unit in units:
+            algo.apply(g, s, unit, query)
+
+    benchmark.pedantic(run, setup=prepare, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("query_class", CLASSES)
+@pytest.mark.parametrize("inserts", [True, False], ids=["insert", "delete"])
+def test_competitor_unit_updates(benchmark, query_class, dataset, inserts):
+    benchmark.group = f"fig6-{query_class}-{dataset}-{'ins' if inserts else 'del'}"
+    setup = ALL_SETUPS[query_class]
+    graph = dataset_graph(dataset, query_class)
+    query = setup.make_query(graph)
+    units = _unit_stream(graph, inserts)
+
+    def prepare():
+        algo = setup.competitor_for_unit_updates()
+        algo.build(graph.copy(), query)
+        return (algo,), {}
+
+    def run(algo):
+        for unit in units:
+            algo.apply(unit)
+
+    benchmark.pedantic(run, setup=prepare, rounds=3, iterations=1)

@@ -1,0 +1,43 @@
+"""Figure 7 (c): CC under batch updates on the OKT proxy.
+
+Paper shape: IncCC beats CC_fp up to 32% and beats DynCC dramatically on
+batches (DynCC processes unit updates one by one and even loses to the
+batch recomputation at large |ΔG|).
+"""
+
+import pytest
+
+from _shared import bench_batch_rerun, bench_competitor, bench_incremental, prepared
+from repro.baselines import UnitLoop
+from repro.bench.runners import ALL_SETUPS
+
+PERCENTAGES = [0.04, 0.16, 0.64]
+
+
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_batch_ccfp(benchmark, pct):
+    benchmark.group = f"fig7-CC-OKT-{int(pct * 100)}pct"
+    bench_batch_rerun(benchmark, "CC", prepared("OKT", "CC", pct))
+
+
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_inccc(benchmark, pct):
+    benchmark.group = f"fig7-CC-OKT-{int(pct * 100)}pct"
+    bench_incremental(benchmark, "CC", prepared("OKT", "CC", pct))
+
+
+@pytest.mark.parametrize("pct", [0.04, 0.16])
+def test_inccc_n(benchmark, pct):
+    benchmark.group = f"fig7-CC-OKT-{int(pct * 100)}pct"
+    bench_incremental(
+        benchmark,
+        "CC",
+        prepared("OKT", "CC", pct),
+        inc_factory=lambda: UnitLoop(ALL_SETUPS["CC"].inc_factory()),
+    )
+
+
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_dyncc(benchmark, pct):
+    benchmark.group = f"fig7-CC-OKT-{int(pct * 100)}pct"
+    bench_competitor(benchmark, "CC", prepared("OKT", "CC", pct))

@@ -1,0 +1,31 @@
+"""Exp-2(1e): DFS under batch updates on the OKT proxy.
+
+Paper shape: IncDFS beats DFS_fp only for small |ΔG| (≤ ~4%; 0.53s vs
+1.64s at 1%), loses beyond that — small updates invalidate large parts
+of a traversal — and beats DynDFS (which processes units one by one) by
+~4× at 1%.
+"""
+
+import pytest
+
+from _shared import bench_batch_rerun, bench_competitor, bench_incremental, prepared
+
+PERCENTAGES = [0.005, 0.02, 0.08]
+
+
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_batch_dfsfp(benchmark, pct):
+    benchmark.group = f"fig7-DFS-OKT-{pct * 100:g}pct"
+    bench_batch_rerun(benchmark, "DFS", prepared("OKT", "DFS", pct))
+
+
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_incdfs(benchmark, pct):
+    benchmark.group = f"fig7-DFS-OKT-{pct * 100:g}pct"
+    bench_incremental(benchmark, "DFS", prepared("OKT", "DFS", pct))
+
+
+@pytest.mark.parametrize("pct", [0.005, 0.02])
+def test_dyndfs(benchmark, pct):
+    benchmark.group = f"fig7-DFS-OKT-{pct * 100:g}pct"
+    bench_competitor(benchmark, "DFS", prepared("OKT", "DFS", pct))

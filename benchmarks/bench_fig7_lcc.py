@@ -1,0 +1,42 @@
+"""Figure 7 (f): LCC under batch updates on the LJ proxy.
+
+Paper shape: IncLCC beats LCC_fp up to 32% of updates (4.5× on average)
+and IncLCC_n by ~2×; DynLCC is the streaming competitor.
+"""
+
+import pytest
+
+from _shared import bench_batch_rerun, bench_competitor, bench_incremental, prepared
+from repro.baselines import UnitLoop
+from repro.bench.runners import ALL_SETUPS
+
+PERCENTAGES = [0.02, 0.08, 0.32]
+
+
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_batch_lccfp(benchmark, pct):
+    benchmark.group = f"fig7-LCC-LJ-{int(pct * 100)}pct"
+    bench_batch_rerun(benchmark, "LCC", prepared("LJ", "LCC", pct))
+
+
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_inclcc(benchmark, pct):
+    benchmark.group = f"fig7-LCC-LJ-{int(pct * 100)}pct"
+    bench_incremental(benchmark, "LCC", prepared("LJ", "LCC", pct))
+
+
+@pytest.mark.parametrize("pct", [0.02, 0.08])
+def test_inclcc_n(benchmark, pct):
+    benchmark.group = f"fig7-LCC-LJ-{int(pct * 100)}pct"
+    bench_incremental(
+        benchmark,
+        "LCC",
+        prepared("LJ", "LCC", pct),
+        inc_factory=lambda: UnitLoop(ALL_SETUPS["LCC"].inc_factory()),
+    )
+
+
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_dynlcc(benchmark, pct):
+    benchmark.group = f"fig7-LCC-LJ-{int(pct * 100)}pct"
+    bench_competitor(benchmark, "LCC", prepared("LJ", "LCC", pct))

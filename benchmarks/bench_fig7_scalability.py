@@ -1,0 +1,74 @@
+"""Figure 7 (j)–(l): scalability with |G| at fixed |ΔG| = 1%·|G|.
+
+The paper sweeps synthetic graphs from 0.5B to 2.2B; we sweep a decade
+at laptop scale.  Shape target: the batch cost grows linearly with |G|
+while the incremental cost grows with |ΔG| (i.e. much more slowly),
+so the gap widens with scale.
+"""
+
+import pytest
+
+from _shared import ALL_SETUPS
+from repro.generators import random_updates
+from repro.generators.random_graphs import assign_labels, assign_weights, barabasi_albert
+
+CLASSES = ["SSSP", "CC", "Sim"]
+NODE_COUNTS = [500, 2000]
+
+
+def _scenario(query_class, n):
+    graph = barabasi_albert(n, 5, seed=61)
+    assign_labels(graph, seed=62)
+    assign_weights(graph, seed=63)
+    setup = ALL_SETUPS[query_class]
+    query = setup.make_query(graph)
+    state = setup.batch_factory().run(graph.copy(), query)
+    delta = random_updates(graph, max(1, graph.size // 100), seed=64)
+    return setup, graph, query, state, delta
+
+
+@pytest.mark.parametrize("n", NODE_COUNTS)
+@pytest.mark.parametrize("query_class", CLASSES)
+def test_batch_scaling(benchmark, query_class, n):
+    benchmark.group = f"fig7-scalability-{query_class}-n{n}"
+    setup, graph, query, _state, delta = _scenario(query_class, n)
+    from repro.graph import updated_copy
+
+    new_graph = updated_copy(graph, delta)
+
+    def run():
+        setup.batch_factory().run(new_graph, query)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n", NODE_COUNTS)
+@pytest.mark.parametrize("query_class", CLASSES)
+def test_incremental_scaling(benchmark, query_class, n):
+    benchmark.group = f"fig7-scalability-{query_class}-n{n}"
+    setup, graph, query, state, delta = _scenario(query_class, n)
+
+    def prepare():
+        return (setup.inc_factory(), graph.copy(), state.copy()), {}
+
+    def run(algo, g, s):
+        algo.apply(g, s, delta, query)
+
+    benchmark.pedantic(run, setup=prepare, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n", NODE_COUNTS)
+@pytest.mark.parametrize("query_class", CLASSES)
+def test_competitor_scaling(benchmark, query_class, n):
+    benchmark.group = f"fig7-scalability-{query_class}-n{n}"
+    setup, graph, query, _state, delta = _scenario(query_class, n)
+
+    def prepare():
+        algo = setup.competitor_factory()
+        algo.build(graph.copy(), query)
+        return (algo,), {}
+
+    def run(algo):
+        algo.apply(delta)
+
+    benchmark.pedantic(run, setup=prepare, rounds=3, iterations=1)

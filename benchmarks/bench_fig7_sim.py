@@ -1,0 +1,47 @@
+"""Figure 7 (d)–(e): Sim under batch updates (DP and FS proxies).
+
+Paper shape: IncSim and IncMatch both beat Sim_fp for |ΔG| ≤ 64%, scale
+better than IncSim_n, and sit within ~30% of each other.
+"""
+
+import pytest
+
+from _shared import bench_batch_rerun, bench_competitor, bench_incremental, prepared
+from repro.baselines import UnitLoop
+from repro.bench.runners import ALL_SETUPS
+
+PERCENTAGES = [0.02, 0.16, 0.64]
+DATASETS = ["DP", "FS"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_batch_simfp(benchmark, dataset, pct):
+    benchmark.group = f"fig7-Sim-{dataset}-{int(pct * 100)}pct"
+    bench_batch_rerun(benchmark, "Sim", prepared(dataset, "Sim", pct))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_incsim(benchmark, dataset, pct):
+    benchmark.group = f"fig7-Sim-{dataset}-{int(pct * 100)}pct"
+    bench_incremental(benchmark, "Sim", prepared(dataset, "Sim", pct))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("pct", [0.02, 0.16])
+def test_incsim_n(benchmark, dataset, pct):
+    benchmark.group = f"fig7-Sim-{dataset}-{int(pct * 100)}pct"
+    bench_incremental(
+        benchmark,
+        "Sim",
+        prepared(dataset, "Sim", pct),
+        inc_factory=lambda: UnitLoop(ALL_SETUPS["Sim"].inc_factory()),
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_incmatch(benchmark, dataset, pct):
+    benchmark.group = f"fig7-Sim-{dataset}-{int(pct * 100)}pct"
+    bench_competitor(benchmark, "Sim", prepared(dataset, "Sim", pct))

@@ -1,0 +1,48 @@
+"""Figure 7 (a)–(b): SSSP under batch updates of growing |ΔG| (FS, TW).
+
+Paper shape: IncSSSP beats Dijkstra up to |ΔG| ≈ 32%, beats IncSSSP_n by
+20–31×, and tracks DynDij within a small factor with the gap closing as
+|ΔG| grows.
+"""
+
+import pytest
+
+from _shared import bench_batch_rerun, bench_competitor, bench_incremental, prepared
+from repro.baselines import UnitLoop
+from repro.bench.runners import ALL_SETUPS
+
+PERCENTAGES = [0.02, 0.08, 0.32]
+DATASETS = ["FS", "TW"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_batch_dijkstra(benchmark, dataset, pct):
+    benchmark.group = f"fig7-SSSP-{dataset}-{int(pct * 100)}pct"
+    bench_batch_rerun(benchmark, "SSSP", prepared(dataset, "SSSP", pct))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_incsssp(benchmark, dataset, pct):
+    benchmark.group = f"fig7-SSSP-{dataset}-{int(pct * 100)}pct"
+    bench_incremental(benchmark, "SSSP", prepared(dataset, "SSSP", pct))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("pct", [0.02, 0.08])  # the _n variant is slow by design
+def test_incsssp_n(benchmark, dataset, pct):
+    benchmark.group = f"fig7-SSSP-{dataset}-{int(pct * 100)}pct"
+    bench_incremental(
+        benchmark,
+        "SSSP",
+        prepared(dataset, "SSSP", pct),
+        inc_factory=lambda: UnitLoop(ALL_SETUPS["SSSP"].inc_factory()),
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("pct", PERCENTAGES)
+def test_dyndij(benchmark, dataset, pct):
+    benchmark.group = f"fig7-SSSP-{dataset}-{int(pct * 100)}pct"
+    bench_competitor(benchmark, "SSSP", prepared(dataset, "SSSP", pct))

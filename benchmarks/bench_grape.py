@@ -1,0 +1,59 @@
+"""Mini-GRAPE: fragment-parallel fixpoint evaluation cost.
+
+Benchmarks the PIE loop (PEval + incremental IncEval supersteps) against
+the sequential batch run, and records superstep/message counts — the
+metrics a distributed deployment would tune.  In-process simulation, so
+wall-clock measures total work, not parallel speedup; the point is that
+the *incremental* IncEval keeps the superstep cost proportional to the
+changed border.
+"""
+
+import pytest
+
+from _shared import dataset_graph
+from repro.algorithms.cc import CCSpec
+from repro.algorithms.sssp import SSSPSpec
+from repro.core import run_batch
+from repro.generators.random_graphs import largest_component_root
+from repro.parallel import GrapeRunner, hash_partition
+
+FRAGMENTS = [2, 6]
+
+
+def _scenario(query_class):
+    graph = dataset_graph("FS", query_class)
+    if query_class == "SSSP":
+        return SSSPSpec(), graph, largest_component_root(graph)
+    return CCSpec(), graph, None
+
+
+@pytest.mark.parametrize("query_class", ["SSSP", "CC"])
+def test_sequential_batch(benchmark, query_class):
+    benchmark.group = f"grape-{query_class}"
+    spec, graph, query = _scenario(query_class)
+
+    def run():
+        run_batch(spec, graph, query)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("fragments", FRAGMENTS)
+@pytest.mark.parametrize("query_class", ["SSSP", "CC"])
+def test_grape_run(benchmark, query_class, fragments):
+    benchmark.group = f"grape-{query_class}"
+    spec, graph, query = _scenario(query_class)
+    partitioning = hash_partition(graph, fragments, seed=3)
+    runner = GrapeRunner(spec, seed=3)
+
+    stats_box = {}
+
+    def run():
+        _values, stats = runner.run(graph, query, partitioning=partitioning)
+        stats_box["stats"] = stats
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    stats = stats_box["stats"]
+    benchmark.extra_info["supersteps"] = stats.supersteps
+    benchmark.extra_info["messages"] = stats.messages
+    benchmark.extra_info["edge_cut"] = partitioning.edge_cut

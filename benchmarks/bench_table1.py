@@ -1,0 +1,35 @@
+"""Table 1: batch A vs fine-tuned competitor vs deduced A_Δ at |ΔG| = 4%.
+
+Paper reference numbers (73.7M-node graph, C++):
+
+    SSSP: 4.57s (Dijkstra)  / 1.56s (DynDij)   / 0.88s (IncSSSP)
+    Sim:  4.86s (Sim_fp)    / 1.03s (IncMatch) / 0.98s (IncSim)
+    LCC:  78.1s (LCC_fp)    / 18.6s (DynLCC)   / 12.0s (IncLCC)
+
+Shape target: the deduced A_Δ beats its batch counterpart; competitors
+are in the same order of magnitude (see EXPERIMENTS.md for deviations).
+"""
+
+import pytest
+
+from _shared import bench_batch_rerun, bench_competitor, bench_incremental, prepared
+
+DELTA = 0.04
+
+
+@pytest.mark.parametrize("query_class", ["SSSP", "Sim", "LCC"])
+def test_batch_recompute(benchmark, query_class):
+    benchmark.group = f"table1-{query_class}"
+    bench_batch_rerun(benchmark, query_class, prepared("FS", query_class, DELTA))
+
+
+@pytest.mark.parametrize("query_class", ["SSSP", "Sim", "LCC"])
+def test_competitor(benchmark, query_class):
+    benchmark.group = f"table1-{query_class}"
+    bench_competitor(benchmark, query_class, prepared("FS", query_class, DELTA))
+
+
+@pytest.mark.parametrize("query_class", ["SSSP", "Sim", "LCC"])
+def test_deduced_incremental(benchmark, query_class):
+    benchmark.group = f"table1-{query_class}"
+    bench_incremental(benchmark, query_class, prepared("FS", query_class, DELTA))

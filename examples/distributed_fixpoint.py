@@ -1,0 +1,46 @@
+"""Fragment-parallel evaluation: incremental steps inside a GRAPE loop.
+
+The paper (§1): "Incremental computation is a critical step of some
+graph systems, e.g., the intermediate consequence operator in GRAPE."
+This example partitions a graph into fragments, runs the batch fixpoint
+per fragment (PEval), and then lets border messages drive *incremental*
+supersteps (IncEval) until global convergence — printing the message
+volume per superstep, which is exactly the quantity the incremental
+scope machinery keeps small.
+
+Run:  python examples/distributed_fixpoint.py
+"""
+
+from repro.algorithms.cc import CCSpec
+from repro.algorithms.sssp import SSSPSpec
+from repro.core import run_batch
+from repro.generators import assign_weights, barabasi_albert
+from repro.parallel import GrapeRunner, hash_partition
+
+
+def main() -> None:
+    graph = assign_weights(barabasi_albert(1200, 4, seed=61), seed=62)
+    partitioning = hash_partition(graph, 6, seed=63)
+    print(
+        f"graph: {graph.num_nodes} nodes / {graph.num_edges} edges across "
+        f"{partitioning.num_fragments} fragments"
+    )
+    print(
+        f"partitioning: edge cut {partitioning.edge_cut} "
+        f"({100 * partitioning.edge_cut / graph.num_edges:.0f}% of edges), "
+        f"balance {partitioning.balance:.2f}"
+    )
+
+    for spec, query, label in ((SSSPSpec(), 0, "SSSP"), (CCSpec(), None, "CC")):
+        values, stats = GrapeRunner(spec, seed=63).run(graph, query, partitioning=partitioning)
+        sequential = dict(run_batch(type(spec)(), graph, query).values)
+        assert values == sequential, f"{label}: distributed ≠ sequential!"
+        profile = ", ".join(str(m) for m in stats.messages_per_step)
+        print(
+            f"{label}: {stats.supersteps} supersteps, {stats.messages} border messages "
+            f"({profile}) — verified equal to the sequential fixpoint"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""E-commerce pattern matching on a streaming transaction graph.
+
+The paper's introduction: "various user operations on e-commerce
+platforms — item clicking, buying, refunding — trigger millions of edge
+insertions and deletions every day on transaction graphs", and graph
+simulation (Sim) drives recommendation there.  This example maintains
+the matches of a fraud-ring-style cyclic pattern over a labeled
+user/item graph as interactions stream in, using the weakly deducible
+IncSim, and cross-checks against the fine-tuned IncMatch baseline.
+
+Run:  python examples/ecommerce_recommendation.py
+"""
+
+import random
+import time
+
+from repro import Graph, IncSim, Simfp
+from repro.baselines import IncMatch
+from repro.generators import random_updates
+from repro.generators.random_graphs import barabasi_albert
+
+
+def build_transaction_graph(seed: int = 11) -> Graph:
+    """A power-law interaction graph with user/item/shop roles."""
+    rng = random.Random(seed)
+    base = barabasi_albert(800, 4, directed=False, seed=seed)
+    graph = Graph(directed=True)
+    for v in base.nodes():
+        graph.ensure_node(v, label=rng.choice(["user", "item", "shop"]))
+    for u, v in base.edges():
+        # Orient each interaction randomly (click/buy direction).
+        if rng.random() < 0.5:
+            graph.add_edge(u, v)
+        else:
+            graph.add_edge(v, u)
+    return graph
+
+
+def suspicious_pattern() -> Graph:
+    """A collusion loop: user → item → shop → user."""
+    q = Graph(directed=True)
+    q.add_node("buyer", label="user")
+    q.add_node("listing", label="item")
+    q.add_node("store", label="shop")
+    q.add_edge("buyer", "listing")
+    q.add_edge("listing", "store")
+    q.add_edge("store", "buyer")
+    return q
+
+
+def main() -> None:
+    graph = build_transaction_graph()
+    pattern = suspicious_pattern()
+    print(f"transaction graph: {graph.num_nodes} nodes, {graph.num_edges} interactions")
+
+    batch = Simfp()
+    state = batch.run(graph, pattern)
+    matches = batch.answer(state, graph, pattern)
+    print(f"initial matches of the collusion loop: {len(matches)} (node, role) pairs")
+
+    competitor = IncMatch()
+    competitor.build(graph.copy(), pattern)
+
+    inc = IncSim()
+    inc_total = comp_total = 0.0
+    for hour in range(6):
+        # One "hour" of user activity: mixed insertions/deletions.
+        delta = random_updates(graph, 60, insert_fraction=0.7, seed=100 + hour)
+
+        t0 = time.perf_counter()
+        result = inc.apply(graph, state, delta, pattern)
+        inc_total += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        competitor.apply(delta)
+        comp_total += time.perf_counter() - t0
+
+        current = batch.answer(state, graph, pattern)
+        assert current == competitor.answer(), "IncSim and IncMatch disagree!"
+        gained = sum(1 for _k, (old, new) in result.changes.items() if new and not old)
+        lost = sum(1 for _k, (old, new) in result.changes.items() if old and not new)
+        print(
+            f"hour {hour}: {delta.size} interactions; "
+            f"+{gained}/-{lost} match changes; {len(current)} pairs matched"
+        )
+
+    print(f"\nIncSim total:   {inc_total * 1e3:.1f} ms")
+    print(f"IncMatch total: {comp_total * 1e3:.1f} ms (both verified equal)")
+
+
+if __name__ == "__main__":
+    main()

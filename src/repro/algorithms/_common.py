@@ -1,0 +1,54 @@
+"""Shared helpers for the algorithm specs.
+
+Specs receive update batches already *expanded* by the incremental driver
+(:meth:`repro.graph.updates.Batch.expanded`): vertex deletions arrive as
+explicit deletions of their incident edges followed by a bare
+``VertexDeletion``, and vertex insertions as a bare ``VertexInsertion``
+followed by explicit ``EdgeInsertion``s.  The helpers below iterate the
+pieces each spec cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..graph.graph import Node
+from ..graph.updates import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    VertexDeletion,
+    VertexInsertion,
+)
+
+
+def edge_updates(delta: Batch) -> Iterator[Tuple[Node, Node, bool]]:
+    """Yield ``(u, v, inserted)`` for every edge-level update in ``ΔG``."""
+    for update in delta:
+        if isinstance(update, EdgeInsertion):
+            yield (update.u, update.v, True)
+        elif isinstance(update, EdgeDeletion):
+            yield (update.u, update.v, False)
+        elif isinstance(update, VertexInsertion):
+            for e in update.edges:
+                yield (e.u, e.v, True)
+
+
+def nodes_inserted(delta: Batch, graph_new=None) -> Iterator[Node]:
+    """Nodes inserted by ``ΔG`` and still present in ``G ⊕ ΔG``.
+
+    Passing ``graph_new`` filters out insert-then-delete churn within the
+    batch (the net effect is what status variables must reflect).
+    """
+    for update in delta:
+        if isinstance(update, VertexInsertion):
+            if graph_new is None or graph_new.has_node(update.v):
+                yield update.v
+
+
+def nodes_removed(delta: Batch, graph_new=None) -> Iterator[Node]:
+    """Nodes deleted by ``ΔG`` and absent from ``G ⊕ ΔG``."""
+    for update in delta:
+        if isinstance(update, VertexDeletion):
+            if graph_new is None or not graph_new.has_node(update.v):
+                yield update.v

@@ -1,0 +1,170 @@
+"""Local clustering coefficient (LCC) — Section 5.3 of the paper.
+
+For each node ``v`` of an undirected graph, the local clustering
+coefficient is
+
+    ``γ_v = 2·λ_v / (d_v·(d_v − 1))``
+
+where ``d_v`` is the degree and ``λ_v`` the number of triangles through
+``v``.
+
+Batch algorithm (LCC_fp)
+------------------------
+Two status variables per node — ``('d', v)`` and ``('λ', v)`` — whose
+update functions read the graph directly (their input sets are adjacency
+lists, not other status variables), so the step function simply sweeps
+the scope once.  LCC is *not* contracting: insertions raise degrees and
+triangle counts.  Its incrementalization therefore relies on Theorem 1
+(deducible, PE-variable recomputation), not on Theorem 3.
+
+Incremental algorithm (IncLCC, Example 8)
+------------------------------------------
+*Deducible*, no auxiliary structures: for each updated edge ``(u, v)``,
+the PE variables are ``d_u``, ``d_v``, and ``λ_w`` for every ``w`` within
+one hop of ``u`` or ``v``.  The scope function recomputes exactly those,
+and since update functions depend on the graph alone, the resumed step
+function has nothing left to propagate — ``H⁰ = AFF``-tight behaviour.
+
+>>> from repro.graph import from_edges
+>>> g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+>>> lcc(g)[2]
+0.3333333333333333
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, Set, Tuple
+
+from ..core.incremental import BatchAlgorithm, IncrementalAlgorithm
+from ..core.spec import FixpointSpec
+from ..graph.graph import Graph, Node
+from ..graph.updates import Batch
+from ._common import edge_updates, nodes_inserted, nodes_removed
+
+Key = Tuple[str, Node]
+
+D = "d"
+LAMBDA = "λ"
+
+
+def _triangles_at(graph: Graph, v: Node) -> int:
+    """Number of triangles through ``v`` (self-loops ignored)."""
+    nbrs = {w for w in graph.neighbors(v) if w != v}
+    count = 0
+    for u in nbrs:
+        for w in graph.neighbors(u):
+            if w != u and w != v and w in nbrs:
+                count += 1
+    # Each triangle (v, u, w) is seen twice: from u and from w.
+    return count // 2
+
+
+class LCCSpec(FixpointSpec):
+    """Fixpoint spec for LCC.  The query is unused."""
+
+    name = "LCC"
+    order = None  # not contracting: Theorem 1 territory
+    uses_timestamps = False
+    # Update functions read the graph only: seeding the scope is the whole
+    # of h, and the step function recomputes each PE variable once.
+    repair_with_scope_function = False
+
+    # -- model ----------------------------------------------------------
+    def variables(self, graph: Graph, query: Any) -> Iterable[Key]:
+        for v in graph.nodes():
+            yield (D, v)
+            yield (LAMBDA, v)
+
+    def initial_value(self, key: Key, graph: Graph, query: Any) -> int:
+        return 0
+
+    def update(self, key: Key, value_of, graph: Graph, query: Any) -> int:
+        kind, v = key
+        if kind == D:
+            # Simple-graph degree: self-loops contribute no triangles and
+            # are excluded from the coefficient's denominator.
+            degree = graph.degree(v)
+            if graph.has_edge(v, v):
+                degree -= 1 if not graph.directed else 2
+            return degree
+        return _triangles_at(graph, v)
+
+    def dependents(self, key: Key, graph: Graph, query: Any) -> Iterable[Key]:
+        # Input sets are adjacency lists, not status variables: value
+        # changes never propagate through the scope.
+        return ()
+
+    # -- PE variables (Example 8) -----------------------------------------
+    def changed_input_keys(self, delta: Batch, graph_new: Graph, query: Any) -> Iterable[Key]:
+        # The PE variables of Example 8, tightened to the variables whose
+        # values actually change: d and λ of the endpoints, plus λ of the
+        # triangles' third vertices — the *common* neighbors of u and v.
+        # (The common neighborhood in G ⊕ ΔG identifies the affected third
+        # vertices for deletions too: removing (u, v) keeps w adjacent to
+        # both endpoints.)
+        keys: Set[Key] = set()
+        for u, v, _inserted in edge_updates(delta):
+            for x in (u, v):
+                keys.add((D, x))
+                keys.add((LAMBDA, x))
+            if graph_new.has_node(u) and graph_new.has_node(v):
+                nu = {w for w in graph_new.neighbors(u) if w != u and w != v}
+                for w in graph_new.neighbors(v):
+                    if w in nu:
+                        keys.add((LAMBDA, w))
+        return keys
+
+    def anchor_dependents(
+        self,
+        key: Key,
+        value_of: Callable[[Key], int],
+        timestamp_of: Callable[[Key], int],
+        graph_new: Graph,
+        query: Any,
+    ) -> Iterable[Key]:
+        # No status-variable dependencies: repairs never cascade.
+        return ()
+
+    def new_variables(self, delta: Batch, graph_new: Graph, query: Any) -> Iterable[Key]:
+        for v in nodes_inserted(delta, graph_new):
+            yield (D, v)
+            yield (LAMBDA, v)
+
+    def removed_variables(self, delta: Batch, graph_new: Graph, query: Any) -> Iterable[Key]:
+        for v in nodes_removed(delta, graph_new):
+            yield (D, v)
+            yield (LAMBDA, v)
+
+    # -- extraction -------------------------------------------------------
+    def extract(self, values: Dict[Hashable, int], graph: Graph, query: Any) -> Dict[Node, float]:
+        """``Q(G)``: the coefficient map {node: γ_v} (0.0 when d_v < 2)."""
+        result: Dict[Node, float] = {}
+        for key, value in values.items():
+            kind, v = key
+            if kind != D:
+                continue
+            degree = value
+            if degree < 2:
+                result[v] = 0.0
+            else:
+                result[v] = 2.0 * values[(LAMBDA, v)] / (degree * (degree - 1))
+        return result
+
+
+class LCCfp(BatchAlgorithm):
+    """The batch LCC algorithm ``LCC_fp`` (Section 5.3)."""
+
+    def __init__(self) -> None:
+        super().__init__(LCCSpec())
+
+
+class IncLCC(IncrementalAlgorithm):
+    """The deducible incremental LCC algorithm (Example 8)."""
+
+    def __init__(self) -> None:
+        super().__init__(LCCSpec())
+
+
+def lcc(graph: Graph) -> Dict[Node, float]:
+    """One-shot batch LCC: {node: local clustering coefficient}."""
+    return LCCfp()(graph)

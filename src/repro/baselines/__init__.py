@@ -1,0 +1,37 @@
+"""Competitor dynamic algorithms benchmarked in Section 6 of the paper.
+
+=========  =====================  =============================================
+Query      Class                  Published algorithm
+=========  =====================  =============================================
+SSSP       :class:`RRSSSP`        Ramalingam–Reps unit-update SPT [39, 40]
+SSSP       :class:`DynDij`        Chan–Yang batch dynamic SPT [17]
+CC         :class:`DynCC`         Holm–de Lichtenberg–Thorup connectivity [27]
+Sim        :class:`IncMatch`      Fan–Wang–Wu incremental simulation [23]
+DFS        :class:`DynDFS`        Yang et al. fully dynamic DFS [50]
+LCC        :class:`DynLCC`        Ediger et al. streaming coefficients [19]
+any        :class:`UnitLoop`      the paper's ``IncX_n`` one-by-one variants
+=========  =====================  =============================================
+"""
+
+from .base import DynamicAlgorithm
+from .dyncc import DynCC, HDTConnectivity
+from .dyndfs import DynDFS
+from .dyndij import DynDij
+from .dynlcc import DynLCC
+from .euler_tour import EulerTourForest
+from .incmatch import IncMatch
+from .rr_sssp import RRSSSP
+from .unit_loop import UnitLoop
+
+__all__ = [
+    "DynCC",
+    "DynDFS",
+    "DynDij",
+    "DynLCC",
+    "DynamicAlgorithm",
+    "EulerTourForest",
+    "HDTConnectivity",
+    "IncMatch",
+    "RRSSSP",
+    "UnitLoop",
+]

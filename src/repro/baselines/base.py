@@ -1,0 +1,51 @@
+"""Common interface for the competitor dynamic algorithms of Section 6.
+
+The paper compares its deduced algorithms against fine-tuned dynamic
+(incremental) algorithms from the literature.  Unlike the framework's
+:class:`~repro.core.incremental.IncrementalAlgorithm` — which is stateless
+and operates on a shared :class:`FixpointState` — these baselines are
+*stateful objects* that own their graph and auxiliary structures, which is
+how dynamic-algorithm libraries are typically shipped.
+
+Protocol::
+
+    algo = SomeBaseline()
+    algo.build(graph, query)    # preprocess; takes ownership of `graph`
+    algo.apply(delta)           # maintain under ΔG (mutates the graph)
+    algo.answer()               # current Q(G)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from ..errors import IncrementalizationError
+from ..graph.graph import Graph
+from ..graph.updates import Batch
+
+
+class DynamicAlgorithm(ABC):
+    """A stateful dynamic graph algorithm maintaining ``Q(G)`` under ΔG."""
+
+    name: str = "dynamic"
+
+    def __init__(self) -> None:
+        self.graph: Graph = None
+        self.query: Any = None
+
+    @abstractmethod
+    def build(self, graph: Graph, query: Any = None) -> None:
+        """Preprocess ``graph`` (kept by reference and mutated by apply)."""
+
+    @abstractmethod
+    def apply(self, delta: Batch) -> None:
+        """Apply ``ΔG`` and maintain the answer."""
+
+    @abstractmethod
+    def answer(self) -> Any:
+        """The current ``Q(G)``."""
+
+    def _require_built(self) -> None:
+        if self.graph is None:
+            raise IncrementalizationError(f"{self.name}: apply() before build()")

@@ -1,0 +1,118 @@
+"""DynDFS — fully dynamic depth-first search.
+
+Reference [50] of the paper: B. Yang, D. Wen, L. Qin, Y. Zhang, X. Wang,
+X. Lin, *Fully Dynamic Depth-First Search in Directed Graphs* (PVLDB
+2019).  Their structure maintains a DFS tree of a directed graph under
+edge updates, rebuilding the part of the traversal an update invalidates.
+
+This implementation maintains the same *canonical* DFS tree as
+:class:`~repro.algorithms.dfs.DFSfp` and repairs per unit update by
+recomputing the traversal suffix from the update's coarse anchor point
+``min(first[u], first[v])`` — without the consideration-slot and
+tree-edge analyses that make the deduced IncDFS skip no-op updates.  Two
+consequences, matching the paper's measurements:
+
+* on unit updates DynDFS does strictly more work than IncDFS (Exp-1:
+  IncDFS is ~31× faster on insertions, most of which IncDFS proves
+  to be no-ops while DynDFS rebuilds a suffix);
+* batch updates are processed one by one, so IncDFS wins by a growing
+  margin as ``|ΔG|`` grows (Exp-2(1e)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from ..algorithms.dfs import DFSResult, _continue_traversal, _scan_neighbors
+from ..graph.graph import Graph, Node
+from ..graph.updates import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    VertexDeletion,
+    VertexInsertion,
+)
+from ..metrics.counters import NullCounter
+from .base import DynamicAlgorithm
+
+INF = math.inf
+
+
+class DynDFS(DynamicAlgorithm):
+    """Fully dynamic DFS with coarse suffix rebuilding."""
+
+    name = "DynDFS"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.first: Dict[Node, int] = {}
+        self.last: Dict[Node, int] = {}
+        self.parent: Dict[Node, Optional[Node]] = {}
+        self._counter = NullCounter()
+
+    # ------------------------------------------------------------------
+    def build(self, graph: Graph, query: Any = None) -> None:
+        self.graph = graph
+        self.query = query
+        self.first, self.last, self.parent = {}, {}, {}
+        _continue_traversal(
+            graph, self.first, self.last, self.parent, set(), 0, [], self._counter
+        )
+
+    def answer(self) -> DFSResult:
+        return DFSResult(first=dict(self.first), last=dict(self.last), parent=dict(self.parent))
+
+    # ------------------------------------------------------------------
+    def _rebuild_from(self, t_star: float) -> None:
+        """Recompute the traversal suffix from time ``t_star``."""
+        graph = self.graph
+        first: Dict[Node, int] = {}
+        last: Dict[Node, int] = {}
+        parent: Dict[Node, Optional[Node]] = {}
+        discovered = set()
+        active = []
+        for v in graph.nodes():
+            v_first = self.first.get(v, INF)
+            if v_first < t_star:
+                discovered.add(v)
+                first[v] = v_first
+                parent[v] = self.parent.get(v)
+                if self.last.get(v, INF) < t_star:
+                    last[v] = self.last[v]
+                else:
+                    active.append(v)
+        active.sort(key=first.get)
+        stack = [(v, iter(_scan_neighbors(graph, v))) for v in active]
+        _continue_traversal(
+            graph, first, last, parent, discovered, int(t_star), stack, self._counter
+        )
+        self.first, self.last, self.parent = first, last, parent
+
+    def _unit_anchor(self, u: Node, v: Node) -> float:
+        return min(self.first.get(u, INF), self.first.get(v, INF))
+
+    def apply(self, delta: Batch) -> None:
+        """Process ``ΔG`` one unit update at a time."""
+        self._require_built()
+        graph = self.graph
+        for update in delta.expanded(graph):
+            if isinstance(update, EdgeInsertion):
+                anchor = self._unit_anchor(update.u, update.v)
+                graph.add_edge(update.u, update.v, weight=update.weight, label=update.label)
+                self._rebuild_from(anchor if anchor < INF else 0)
+            elif isinstance(update, EdgeDeletion):
+                anchor = self._unit_anchor(update.u, update.v)
+                graph.remove_edge(update.u, update.v)
+                self._rebuild_from(anchor if anchor < INF else 0)
+            elif isinstance(update, VertexInsertion):
+                graph.ensure_node(update.v, label=update.label)
+                self._rebuild_from(0)
+            elif isinstance(update, VertexDeletion):
+                anchor = self.first.get(update.v, 0)
+                if graph.has_node(update.v):
+                    graph.remove_node(update.v)
+                self.first.pop(update.v, None)
+                self.last.pop(update.v, None)
+                self.parent.pop(update.v, None)
+                self._rebuild_from(anchor)

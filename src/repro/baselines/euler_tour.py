@@ -1,0 +1,235 @@
+"""Euler tour trees — the substrate of HDT dynamic connectivity.
+
+An Euler tour tree (ETT) represents a forest so that linking two trees,
+cutting a tree edge, and testing connectivity all run in O(log n)
+expected time.  Each tree is stored as the circular Euler tour of its
+edges, laid out in a balanced BST keyed by *position*; here the BST is a
+randomized treap with parent pointers and subtree sizes (order
+statistics), so positions are computed by rank and splits are positional.
+
+Tour encoding: every vertex ``v`` contributes one *loop arc* ``(v, v)``
+(its canonical occurrence), and every tree edge ``{u, v}`` contributes
+two directed arcs ``(u, v)`` and ``(v, u)``.  Linking ``u`` and ``v``
+rotates both tours to start at their loop arcs and concatenates
+
+    ``tour(u) + (u, v) + tour(v) + (v, u)``;
+
+cutting removes the two arcs and splices the tour back together.
+
+The treap also maintains per-subtree counts of loop arcs, giving O(log n)
+tree sizes — which HDT needs to pick the smaller side of a cut.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from ..errors import GraphError
+
+Vertex = Hashable
+Arc = Tuple[Vertex, Vertex]
+
+
+class _ArcNode:
+    """One arc of an Euler tour, as a treap node."""
+
+    __slots__ = ("data", "priority", "left", "right", "parent", "size", "loops")
+
+    def __init__(self, data: Arc, priority: float) -> None:
+        self.data = data
+        self.priority = priority
+        self.left: Optional["_ArcNode"] = None
+        self.right: Optional["_ArcNode"] = None
+        self.parent: Optional["_ArcNode"] = None
+        self.size = 1
+        self.loops = 1 if data[0] == data[1] else 0
+
+    def _refresh(self) -> None:
+        size, loops = 1, 1 if self.data[0] == self.data[1] else 0
+        if self.left is not None:
+            size += self.left.size
+            loops += self.left.loops
+        if self.right is not None:
+            size += self.right.size
+            loops += self.right.loops
+        self.size = size
+        self.loops = loops
+
+
+def _merge(a: Optional[_ArcNode], b: Optional[_ArcNode]) -> Optional[_ArcNode]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.priority < b.priority:
+        right = _merge(a.right, b)
+        a.right = right
+        right.parent = a
+        a._refresh()
+        a.parent = None
+        return a
+    left = _merge(a, b.left)
+    b.left = left
+    left.parent = b
+    b._refresh()
+    b.parent = None
+    return b
+
+
+def _split(node: Optional[_ArcNode], k: int) -> Tuple[Optional[_ArcNode], Optional[_ArcNode]]:
+    """Split into (first k arcs, rest)."""
+    if node is None:
+        return (None, None)
+    left_size = node.left.size if node.left is not None else 0
+    if k <= left_size:
+        first, second = _split(node.left, k)
+        node.left = second
+        if second is not None:
+            second.parent = node
+        node._refresh()
+        node.parent = None
+        if first is not None:
+            first.parent = None
+        return (first, node)
+    first, second = _split(node.right, k - left_size - 1)
+    node.right = first
+    if first is not None:
+        first.parent = node
+    node._refresh()
+    node.parent = None
+    if second is not None:
+        second.parent = None
+    return (node, second)
+
+
+def _root_of(node: _ArcNode) -> _ArcNode:
+    while node.parent is not None:
+        node = node.parent
+    return node
+
+
+def _rank(node: _ArcNode) -> int:
+    """Number of arcs strictly before ``node`` in its tour."""
+    rank = node.left.size if node.left is not None else 0
+    child = node
+    while child.parent is not None:
+        parent = child.parent
+        if parent.right is child:
+            rank += 1 + (parent.left.size if parent.left is not None else 0)
+        child = parent
+    return rank
+
+
+class EulerTourForest:
+    """A dynamic forest with O(log n) link / cut / connected / size.
+
+    >>> f = EulerTourForest(seed=0)
+    >>> for v in (1, 2, 3): f.add_vertex(v)
+    >>> f.link(1, 2); f.connected(1, 2)
+    True
+    >>> f.tree_size(1)
+    2
+    >>> f.cut(1, 2); f.connected(1, 2)
+    False
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+        self._loop: Dict[Vertex, _ArcNode] = {}
+        self._arc: Dict[Arc, _ArcNode] = {}
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        if v in self._loop:
+            return
+        self._loop[v] = _ArcNode((v, v), self._rng.random())
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove an *isolated* vertex."""
+        node = self._loop.get(v)
+        if node is None:
+            return
+        if _root_of(node).size != 1:
+            raise GraphError(f"cannot remove non-isolated vertex {v!r} from the forest")
+        del self._loop[v]
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._loop
+
+    # ------------------------------------------------------------------
+    def _tour_root(self, v: Vertex) -> _ArcNode:
+        node = self._loop.get(v)
+        if node is None:
+            raise GraphError(f"vertex {v!r} is not in the forest")
+        return _root_of(node)
+
+    def connected(self, u: Vertex, v: Vertex) -> bool:
+        return self._tour_root(u) is self._tour_root(v)
+
+    def tree_size(self, v: Vertex) -> int:
+        """Number of vertices in ``v``'s tree."""
+        return self._tour_root(v).loops
+
+    def tree_vertices(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate the vertices of ``v``'s tree (O(size))."""
+        stack: List[_ArcNode] = [self._tour_root(v)]
+        while stack:
+            node = stack.pop()
+            if node.loops == 0:
+                continue
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.data[0] == node.data[1]:
+                yield node.data[0]
+
+    def _rerooted(self, v: Vertex) -> Optional[_ArcNode]:
+        """The tour of ``v``'s tree rotated to start at ``v``'s loop arc."""
+        node = self._loop[v]
+        root = _root_of(node)
+        k = _rank(node)
+        first, second = _split(root, k)
+        return _merge(second, first)
+
+    # ------------------------------------------------------------------
+    def link(self, u: Vertex, v: Vertex) -> None:
+        """Add tree edge {u, v}; trees must be distinct."""
+        if u not in self._loop or v not in self._loop:
+            raise GraphError(f"link endpoints {u!r}, {v!r} must be forest vertices")
+        if self.connected(u, v):
+            raise GraphError(f"link({u!r}, {v!r}) would create a cycle")
+        uv = _ArcNode((u, v), self._rng.random())
+        vu = _ArcNode((v, u), self._rng.random())
+        self._arc[(u, v)] = uv
+        self._arc[(v, u)] = vu
+        tour_u = self._rerooted(u)
+        tour_v = self._rerooted(v)
+        _merge(_merge(_merge(tour_u, uv), tour_v), vu)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return (u, v) in self._arc
+
+    def cut(self, u: Vertex, v: Vertex) -> None:
+        """Remove tree edge {u, v}."""
+        uv = self._arc.pop((u, v), None)
+        vu = self._arc.pop((v, u), None)
+        if uv is None or vu is None:
+            raise GraphError(f"({u!r}, {v!r}) is not a tree edge")
+        i, j = _rank(uv), _rank(vu)
+        if i > j:
+            uv, vu = vu, uv
+            i, j = j, i
+        root = _root_of(uv)
+        # tour = A + [uv] + B + [vu] + C ; after the cut the two trees are
+        # B (the far side) and A + C.
+        left, rest = _split(root, i)
+        _uv_part, rest = _split(rest, 1)
+        middle, rest = _split(rest, j - i - 1)
+        _vu_part, right = _split(rest, 1)
+        _merge(left, right)
+        # `middle` becomes its own tour root implicitly (parent is None).
+
+    def __len__(self) -> int:
+        return len(self._loop)

@@ -1,0 +1,199 @@
+"""RR — the Ramalingam–Reps dynamic SSSP algorithm for unit updates.
+
+Reference [39, 40] of the paper: G. Ramalingam and T. Reps, *An
+Incremental Algorithm for a Generalization of the Shortest-Path Problem*
+(J. Algorithms 1996).  This is the classic unit-update shortest-path-tree
+maintenance algorithm the paper benchmarks against in Exp-1 (Figures
+6(a)/6(b)).
+
+* **Insertion** of ``(u, v, w)``: if ``dist(u) + w < dist(v)`` the
+  improvement is propagated with a Dijkstra-style heap over the
+  strictly-decreasing region.
+* **Deletion** of ``(u, v)``: if the edge was *tight* and ``v`` has no
+  alternative tight in-edge, the *affected set* — vertices all of whose
+  shortest paths used the deleted edge — is identified by the classic
+  workset sweep, their distances are invalidated, and a bounded Dijkstra
+  over the affected set restores them.
+
+RR processes **unit updates only**; :meth:`apply` loops over the batch,
+which is exactly the behaviour Exp-2 exposes when comparing it with the
+deduced batch algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Dict, List, Set
+
+from ..graph.graph import Graph, Node
+from ..graph.updates import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    VertexDeletion,
+    VertexInsertion,
+)
+from .base import DynamicAlgorithm
+
+INF = math.inf
+
+
+class RRSSSP(DynamicAlgorithm):
+    """Ramalingam–Reps dynamic single-source shortest paths."""
+
+    name = "RR"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.dist: Dict[Node, float] = {}
+
+    # ------------------------------------------------------------------
+    def build(self, graph: Graph, query: Node = None) -> None:
+        self.graph = graph
+        self.query = query
+        self.dist = {v: INF for v in graph.nodes()}
+        if graph.has_node(query):
+            self.dist[query] = 0.0
+            self._dijkstra_from([(0.0, query)])
+
+    def answer(self) -> Dict[Node, float]:
+        return dict(self.dist)
+
+    # ------------------------------------------------------------------
+    def _dijkstra_from(self, heap: List) -> None:
+        """Settle improvements seeded in ``heap`` (lazy-deletion Dijkstra)."""
+        graph, dist = self.graph, self.dist
+        while heap:
+            d, v = heapq.heappop(heap)
+            if d > dist[v]:
+                continue
+            for u, w in graph.out_items(v):
+                candidate = d + w
+                if candidate < dist[u]:
+                    dist[u] = candidate
+                    heapq.heappush(heap, (candidate, u))
+
+    def _insert(self, u: Node, v: Node, w: float) -> None:
+        self.graph.add_edge(u, v, weight=w)
+        dist = self.dist
+        dist.setdefault(u, INF)
+        dist.setdefault(v, INF)
+        if dist[u] + w < dist[v]:
+            dist[v] = dist[u] + w
+            self._dijkstra_from([(dist[v], v)])
+
+    def _has_alternative_support(self, v: Node) -> bool:
+        """Whether some in-edge of ``v`` is tight (supports dist[v])."""
+        dv = self.dist[v]
+        for x, w in self.graph.in_items(v):
+            if self.dist.get(x, INF) + w == dv:
+                return True
+        return False
+
+    def _delete(self, u: Node, v: Node) -> None:
+        graph, dist, source = self.graph, self.dist, self.query
+        w = graph.weight(u, v)
+        graph.remove_edge(u, v)
+        if v == source or dist[v] == INF or dist.get(u, INF) + w != dist[v]:
+            return  # non-tight edge: distances unaffected
+        if self._has_alternative_support(v):
+            return
+
+        # Phase 1: the affected set — vertices with no tight in-edge from
+        # an unaffected vertex (their every shortest path died).
+        affected: Set[Node] = set()
+        workset = [v]
+        while workset:
+            z = workset.pop()
+            if z in affected:
+                continue
+            supported = False
+            for x, wx in graph.in_items(z):
+                if x not in affected and dist.get(x, INF) + wx == dist[z]:
+                    supported = True
+                    break
+            if supported:
+                continue
+            affected.add(z)
+            for y, wy in graph.out_items(z):
+                if y != source and y not in affected and dist[z] + wy == dist.get(y, INF):
+                    workset.append(y)
+
+        # Phase 2: recompute the affected set from its unaffected fringe.
+        heap: List = []
+        for z in affected:
+            best = INF
+            for x, wx in graph.in_items(z):
+                if x not in affected:
+                    candidate = dist.get(x, INF) + wx
+                    if candidate < best:
+                        best = candidate
+            dist[z] = best
+            if best < INF:
+                heapq.heappush(heap, (best, z))
+        self._dijkstra_from(heap)
+
+    # ------------------------------------------------------------------
+    def apply(self, delta: Batch) -> None:
+        """Process ``ΔG`` as a sequence of unit updates (RR's model)."""
+        self._require_built()
+        for update in delta.expanded(self.graph):
+            if isinstance(update, EdgeInsertion):
+                self._insert(update.u, update.v, update.weight)
+                if not self.graph.directed:
+                    # the single undirected edge relaxes both ways
+                    if self.dist[update.v] + update.weight < self.dist[update.u]:
+                        self.dist[update.u] = self.dist[update.v] + update.weight
+                        self._dijkstra_from([(self.dist[update.u], update.u)])
+            elif isinstance(update, EdgeDeletion):
+                self._delete(update.u, update.v)
+                if not self.graph.directed:
+                    # both directions may have lost support
+                    self._recheck_undirected(update.u)
+            elif isinstance(update, VertexInsertion):
+                self.graph.ensure_node(update.v, label=update.label)
+                self.dist.setdefault(update.v, INF)
+            elif isinstance(update, VertexDeletion):
+                if self.graph.has_node(update.v):
+                    self.graph.remove_node(update.v)
+                self.dist.pop(update.v, None)
+
+    def _recheck_undirected(self, u: Node) -> None:
+        """After an undirected deletion, repair ``u``'s side as well."""
+        dist, graph, source = self.dist, self.graph, self.query
+        if u == source or dist.get(u, INF) == INF:
+            return
+        if self._has_alternative_support(u) or dist[u] == 0.0:
+            return
+        # u lost its support: rerun the deletion repair rooted at u by
+        # reusing the affected-set machinery with a zero-weight phantom.
+        affected: Set[Node] = set()
+        workset = [u]
+        while workset:
+            z = workset.pop()
+            if z in affected:
+                continue
+            supported = False
+            for x, wx in graph.in_items(z):
+                if x not in affected and dist.get(x, INF) + wx == dist[z]:
+                    supported = True
+                    break
+            if supported:
+                continue
+            affected.add(z)
+            for y, wy in graph.out_items(z):
+                if y != source and y not in affected and dist[z] + wy == dist.get(y, INF):
+                    workset.append(y)
+        heap: List = []
+        for z in affected:
+            best = INF
+            for x, wx in graph.in_items(z):
+                if x not in affected:
+                    candidate = dist.get(x, INF) + wx
+                    if candidate < best:
+                        best = candidate
+            dist[z] = best
+            if best < INF:
+                heapq.heappush(heap, (best, z))
+        self._dijkstra_from(heap)

@@ -1,0 +1,46 @@
+"""Experiment harness: regenerate every table and figure of Section 6.
+
+Usage::
+
+    python -m repro.bench            # all experiments, default scale
+    python -m repro.bench --scale 1  # bigger proxies, slower
+
+Programmatic use::
+
+    from repro.bench import table1, exp2_vary_delta
+    table1(scale=0.5).show()
+"""
+
+from .experiments import (
+    ablation_scope,
+    exp1_aff,
+    exp1_unit_updates,
+    exp2_temporal,
+    exp2_vary_delta,
+    exp3_scalability,
+    exp4_memory,
+    run_all,
+    table1,
+)
+from .plots import ascii_chart, chart_from_result
+from .runners import ALL_SETUPS, QueryClassSetup, undirected_view
+from .tables import ExperimentResult, format_table
+
+__all__ = [
+    "ALL_SETUPS",
+    "ExperimentResult",
+    "QueryClassSetup",
+    "ablation_scope",
+    "ascii_chart",
+    "chart_from_result",
+    "exp1_aff",
+    "exp1_unit_updates",
+    "exp2_temporal",
+    "exp2_vary_delta",
+    "exp3_scalability",
+    "exp4_memory",
+    "format_table",
+    "run_all",
+    "table1",
+    "undirected_view",
+]

@@ -1,0 +1,40 @@
+"""Command-line entry point: print every experiment table."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import run_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures on proxy datasets.",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.3,
+        help="dataset scale factor (default 0.3; 1.0 ≈ a few thousand nodes per proxy)",
+    )
+    parser.add_argument(
+        "--plots",
+        action="store_true",
+        help="also render each table's numeric columns as an ASCII chart",
+    )
+    args = parser.parse_args(argv)
+    for result in run_all(scale=args.scale):
+        print(result.format())
+        if args.plots and len(result.rows) > 1:
+            from .plots import chart_from_result
+
+            print()
+            print(chart_from_result(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""ASCII line charts for the experiment harness.
+
+The paper's Figures 6–7 are log-scale line charts; the harness prints
+tables, and — with ``python -m repro.bench --plots`` — also renders each
+table's numeric columns as a terminal chart so the crossover shapes are
+visible at a glance without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+_MARKERS = "ox+*#%@&"
+
+
+def ascii_chart(
+    series: Series,
+    width: int = 64,
+    height: int = 16,
+    logy: bool = True,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named ``(x, y)`` series on one character grid.
+
+    >>> text = ascii_chart({"a": [(0, 1.0), (1, 10.0)]}, width=20, height=6)
+    >>> "a" in text and "o" in text
+    True
+    """
+    points = [(x, y) for rows in series.values() for x, y in rows if y > 0 or not logy]
+    if not points:
+        return f"{title}\n(no data)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    if logy:
+        y_lo, y_hi = math.log10(min(ys)), math.log10(max(ys))
+    else:
+        y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, rows) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in rows:
+            if logy:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    top = f"{(10 ** y_hi if logy else y_hi):.4g}"
+    bottom = f"{(10 ** y_lo if logy else y_lo):.4g}"
+    gutter = max(len(top), len(bottom)) + 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top
+        elif i == height - 1:
+            label = bottom
+        else:
+            label = ""
+        lines.append(f"{label.rjust(gutter)}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(
+        " " * gutter + f" {x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(width // 2)
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * gutter + " " + legend)
+    if ylabel:
+        lines.append(" " * gutter + f" (y: {ylabel}, {'log' if logy else 'linear'} scale)")
+    return "\n".join(lines)
+
+
+def chart_from_result(result, x_column: int = 0) -> str:
+    """Build a chart from an :class:`~repro.bench.tables.ExperimentResult`.
+
+    Uses column ``x_column`` as the x-axis (when numeric; otherwise the
+    row index) and every other numeric column as one series.
+    """
+    headers = list(result.headers)
+    series: Series = {}
+    for column in range(len(headers)):
+        if column == x_column:
+            continue
+        rows: List[Tuple[float, float]] = []
+        for i, row in enumerate(result.rows):
+            y = row[column]
+            if not isinstance(y, (int, float)):
+                continue
+            x = row[x_column] if isinstance(row[x_column], (int, float)) else i
+            rows.append((float(x), float(y)))
+        if rows:
+            series[headers[column]] = rows
+    return ascii_chart(series, title=result.title, ylabel="seconds")

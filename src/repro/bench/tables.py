@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render a fixed-width table (markdown-ish pipes)."""
+    grid = [[_cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in grid:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    parts.extend(line(row) for row in grid)
+    return "\n".join(parts)
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: title, table, and free-form notes."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        text = format_table(self.headers, self.rows, title=f"== {self.title} ==")
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def show(self) -> None:
+        print(self.format())

@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro stats GRAPH            # structural summary
+    python -m repro run ALGO GRAPH         # batch answer
+    python -m repro inc ALGO GRAPH UPDATES # batch + incremental maintenance
+    python -m repro datasets               # list the proxy datasets
+
+``GRAPH`` is an edge-list file (``u v [weight]``), a labeled edge list
+(autodetected via ``--labeled``), or a dataset name prefixed with ``@``
+(e.g. ``@LJ``).  ``UPDATES`` is a text file of unit updates:
+
+    + u v [weight]      edge insertion
+    - u v               edge deletion
+    +v x [label]        vertex insertion
+    -v x                vertex deletion
+
+Answers are printed as JSON on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List, Optional, Tuple
+
+from .errors import ReproError
+from .graph.analysis import graph_stats
+from .graph.graph import Graph
+from .graph.io import read_edge_list, read_labeled_edge_list
+from .graph.temporal import TemporalGraph
+from .graph.updates import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    VertexDeletion,
+    VertexInsertion,
+)
+from .session import ALGORITHM_PAIRS
+
+_NEEDS_SOURCE = {"SSSP", "SSWP", "Reach"}
+_UNDIRECTED_ONLY = {"CC", "LCC", "Coreness"}
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def load_graph(ref: str, directed: bool, labeled: bool) -> Graph:
+    """Load a graph from a path or a ``@DATASET`` reference."""
+    if ref.startswith("@"):
+        from .datasets import load
+
+        data = load(ref[1:], scale=1.0)
+        if isinstance(data, TemporalGraph):
+            first, last = data.time_span
+            data = data.snapshot(last)
+        return data
+    if labeled:
+        return read_labeled_edge_list(ref, directed=directed)
+    return read_edge_list(ref, directed=directed)
+
+
+def read_updates(path: str) -> Batch:
+    """Parse the CLI update format into a :class:`Batch`."""
+    batch = Batch()
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            op = parts[0]
+            try:
+                if op == "+" and len(parts) >= 3:
+                    weight = float(parts[3]) if len(parts) > 3 else 1.0
+                    batch.append(EdgeInsertion(_parse_node(parts[1]), _parse_node(parts[2]), weight=weight))
+                elif op == "-" and len(parts) >= 3:
+                    batch.append(EdgeDeletion(_parse_node(parts[1]), _parse_node(parts[2])))
+                elif op == "+v" and len(parts) >= 2:
+                    label = parts[2] if len(parts) > 2 else None
+                    batch.append(VertexInsertion(_parse_node(parts[1]), label=label))
+                elif op == "-v" and len(parts) >= 2:
+                    batch.append(VertexDeletion(_parse_node(parts[1])))
+                else:
+                    raise ValueError(f"unrecognized update line: {line!r}")
+            except (ValueError, IndexError) as exc:
+                raise ReproError(f"{path}:{lineno}: {exc}") from None
+    return batch
+
+
+def _jsonable(answer: Any) -> Any:
+    if isinstance(answer, dict):
+        return {str(k): _jsonable(v) for k, v in answer.items()}
+    if isinstance(answer, (set, frozenset)):
+        return sorted([_jsonable(v) for v in answer], key=str)
+    if isinstance(answer, tuple):
+        return list(answer)
+    if isinstance(answer, float) and answer == float("inf"):
+        return "inf"
+    if hasattr(answer, "first") and hasattr(answer, "parent"):  # DFSResult
+        return {
+            "first": _jsonable(answer.first),
+            "last": _jsonable(answer.last),
+            "parent": _jsonable(answer.parent),
+        }
+    return answer
+
+
+def _resolve(algo_name: str) -> Tuple[Any, Any]:
+    for name, pair in ALGORITHM_PAIRS.items():
+        if name.lower() == algo_name.lower():
+            return name, pair
+    raise ReproError(
+        f"unknown algorithm {algo_name!r}; available: {', '.join(ALGORITHM_PAIRS)}"
+    )
+
+
+def _query_for(name: str, args, graph: Graph):
+    if name in _NEEDS_SOURCE:
+        if args.source is None:
+            raise ReproError(f"{name} requires --source")
+        source = _parse_node(args.source)
+        if not graph.has_node(source):
+            raise ReproError(f"source node {source!r} is not in the graph")
+        return source
+    if name == "Sim":
+        if getattr(args, "pattern", None) is None:
+            raise ReproError("Sim requires --pattern (a labeled edge-list file)")
+        return read_labeled_edge_list(args.pattern, directed=True)
+    return None
+
+
+def cmd_stats(args) -> int:
+    graph = load_graph(args.graph, directed=args.directed, labeled=args.labeled)
+    print(json.dumps(graph_stats(graph).as_dict(), indent=2))
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    from .datasets import available, spec
+
+    rows = []
+    for name in available():
+        s = spec(name)
+        rows.append(
+            {
+                "name": s.name,
+                "paper_dataset": s.paper_dataset,
+                "directed": s.directed,
+                "temporal": s.temporal,
+                "description": s.description,
+            }
+        )
+    print(json.dumps(rows, indent=2))
+    return 0
+
+
+def cmd_run(args) -> int:
+    name, (batch_factory, _inc_factory) = _resolve(args.algorithm)
+    directed = args.directed and name not in _UNDIRECTED_ONLY
+    graph = load_graph(args.graph, directed=directed, labeled=args.labeled)
+    query = _query_for(name, args, graph)
+    algo = batch_factory()
+    state = algo.run(graph, query)
+    print(json.dumps(_jsonable(algo.answer(state, graph, query)), indent=2))
+    return 0
+
+
+def cmd_inc(args) -> int:
+    name, (batch_factory, inc_factory) = _resolve(args.algorithm)
+    directed = args.directed and name not in _UNDIRECTED_ONLY
+    graph = load_graph(args.graph, directed=directed, labeled=args.labeled)
+    query = _query_for(name, args, graph)
+    delta = read_updates(args.updates)
+
+    batch = batch_factory()
+    state = batch.run(graph, query)
+    result = inc_factory().apply(graph, state, delta, query)
+    document = {
+        "updates": delta.size,
+        "changes": {str(k): [_jsonable(old), _jsonable(new)] for k, (old, new) in result.changes.items()},
+        "answer": _jsonable(batch.answer(state, graph, query)),
+    }
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Incrementalized graph algorithms (SIGMOD 2021 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_options(p):
+        p.add_argument("graph", help="edge-list path or @DATASET")
+        p.add_argument("--directed", action="store_true", help="treat the graph as directed")
+        p.add_argument("--labeled", action="store_true", help="parse 'u ulabel v vlabel [w]' lines")
+
+    p_stats = sub.add_parser("stats", help="print structural statistics")
+    add_graph_options(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_datasets = sub.add_parser("datasets", help="list the proxy datasets")
+    p_datasets.set_defaults(func=cmd_datasets)
+
+    p_run = sub.add_parser("run", help="run a batch algorithm")
+    p_run.add_argument("algorithm", help="|".join(ALGORITHM_PAIRS))
+    add_graph_options(p_run)
+    p_run.add_argument("--source", help="source node (SSSP/SSWP/Reach)")
+    p_run.add_argument("--pattern", help="pattern file for Sim (labeled edge list)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_inc = sub.add_parser("inc", help="run batch once, then apply updates incrementally")
+    p_inc.add_argument("algorithm", help="|".join(ALGORITHM_PAIRS))
+    add_graph_options(p_inc)
+    p_inc.add_argument("updates", help="update file: '+ u v [w]' / '- u v' / '+v x' / '-v x'")
+    p_inc.add_argument("--source", help="source node (SSSP/SSWP/Reach)")
+    p_inc.add_argument("--pattern", help="pattern file for Sim (labeled edge list)")
+    p_inc.set_defaults(func=cmd_inc)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

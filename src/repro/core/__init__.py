@@ -1,0 +1,44 @@
+"""Core framework: the fixpoint model and its incrementalization.
+
+This package implements the paper's machinery end to end:
+
+* :mod:`~repro.core.spec` — the fixpoint-algorithm abstraction ``Φ``;
+* :mod:`~repro.core.engine` — the generic step-function driver (Eq. 1);
+* :mod:`~repro.core.scope` — the initial scope function ``h`` (Figure 4);
+* :mod:`~repro.core.incremental` — deduction of ``A_Δ`` (Eqs. 2–3);
+* :mod:`~repro.core.orders` — partial orders for contracting/monotonic specs;
+* :mod:`~repro.core.boundedness` — AFF computation and C1 verification.
+"""
+
+from .boundedness import BoundednessReport, compute_aff, verify_relative_boundedness
+from .engine import new_state, run_batch, run_fixpoint
+from .incremental import (
+    BatchAlgorithm,
+    IncrementalAlgorithm,
+    IncrementalResult,
+    incrementalize,
+)
+from .orders import BooleanOrder, IntervalOrder, MinValueOrder, PartialOrder
+from .scope import initial_scope
+from .spec import FixpointSpec
+from .state import FixpointState
+
+__all__ = [
+    "BatchAlgorithm",
+    "BooleanOrder",
+    "BoundednessReport",
+    "FixpointSpec",
+    "FixpointState",
+    "IncrementalAlgorithm",
+    "IncrementalResult",
+    "IntervalOrder",
+    "MinValueOrder",
+    "PartialOrder",
+    "compute_aff",
+    "incrementalize",
+    "initial_scope",
+    "new_state",
+    "run_batch",
+    "run_fixpoint",
+    "verify_relative_boundedness",
+]

@@ -1,0 +1,127 @@
+"""Runtime verification of the paper's structural invariants.
+
+Three checkable properties back the framework's guarantees:
+
+* **σ_A holds at the fixpoint** (Section 3): every status variable
+  equals its update function applied to the current values.
+* **Feasibility** (Section 4): every variable sits between its final and
+  initial values under ``⪯`` — the property the scope function ``h``
+  must establish and the step function preserves.
+* **Contraction** (Eq. 4): replaying a run's writes never moves a
+  variable upward in ``⪯``.
+
+These checks are expensive (they evaluate every update function) and are
+meant for tests and debugging new specs, not production paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List
+
+from ..graph.graph import Graph
+from .spec import FixpointSpec
+from .state import FixpointState
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of an invariant sweep."""
+
+    holds: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    @classmethod
+    def from_violations(cls, violations: List[str]) -> "InvariantReport":
+        return cls(holds=not violations, violations=violations)
+
+
+def check_fixpoint_invariant(
+    spec: FixpointSpec,
+    graph: Graph,
+    query: Any,
+    state: FixpointState,
+    max_report: int = 10,
+) -> InvariantReport:
+    """Verify ``σ_A``: ``x_i = f_{x_i}(Y_{x_i})`` for every variable.
+
+    >>> from repro.algorithms.sssp import SSSPSpec
+    >>> from repro.core import run_batch
+    >>> from repro.graph import from_edges
+    >>> g = from_edges([(0, 1)], directed=True)
+    >>> bool(check_fixpoint_invariant(SSSPSpec(), g, 0, run_batch(SSSPSpec(), g, 0)))
+    True
+    """
+    violations: List[str] = []
+    value_of = state.values.__getitem__
+    for key in list(state.values):
+        expected = spec.update(key, value_of, graph, query)
+        actual = state.values[key]
+        if expected != actual:
+            violations.append(f"σ violated at {key!r}: stored {actual!r}, f gives {expected!r}")
+            if len(violations) >= max_report:
+                break
+    return InvariantReport.from_violations(violations)
+
+
+def check_feasibility(
+    spec: FixpointSpec,
+    graph: Graph,
+    query: Any,
+    state: FixpointState,
+    final_values: Dict[Hashable, Any],
+    max_report: int = 10,
+) -> InvariantReport:
+    """Verify ``x* ⪯ x ⪯ x^⊥`` for every variable of ``state``.
+
+    ``final_values`` is the true fixpoint on the (current) graph —
+    typically obtained from a fresh batch run.
+    """
+    order = spec.order
+    if order is None:
+        return InvariantReport(holds=True)
+    violations: List[str] = []
+    for key, value in state.values.items():
+        top = spec.initial_value(key, graph, query)
+        bottom = final_values.get(key)
+        if not order.leq(value, top):
+            violations.append(f"{key!r}: value {value!r} above initial {top!r}")
+        elif bottom is not None and not order.leq(bottom, value):
+            violations.append(f"{key!r}: value {value!r} below final {bottom!r} (infeasible)")
+        if len(violations) >= max_report:
+            break
+    return InvariantReport.from_violations(violations)
+
+
+def check_scope_validity(
+    spec: FixpointSpec,
+    graph: Graph,
+    query: Any,
+    state: FixpointState,
+    scope,
+    max_report: int = 10,
+) -> InvariantReport:
+    """Verify the scope is *valid* w.r.t. the status (Section 4).
+
+    Every variable whose statement ``σ_{x_i}`` is violated — i.e. whose
+    stored value differs from ``f`` in the lowering direction — must be
+    in the scope, or the resumed step function would never visit it.
+    """
+    order = spec.order
+    scope = set(scope)
+    violations: List[str] = []
+    value_of = state.values.__getitem__
+    for key in list(state.values):
+        expected = spec.update(key, value_of, graph, query)
+        actual = state.values[key]
+        if expected == actual:
+            continue
+        lowering = order is None or order.lt(expected, actual)
+        if lowering and key not in scope:
+            violations.append(f"{key!r} violates σ (f={expected!r}, x={actual!r}) but is outside H")
+            if len(violations) >= max_report:
+                break
+    return InvariantReport.from_violations(violations)

@@ -1,0 +1,97 @@
+"""Partial orders on status-variable domains.
+
+Section 4 of the paper defines *contracting* and *monotonic* fixpoint
+algorithms with respect to a partial order ``⪯`` on the domain of status
+variables: the computation moves strictly downward,
+
+    ``D* ⪯ … ⪯ D^{t+1} ⪯ D^t ⪯ … ⪯ D^0 = D^⊥``,
+
+with the initial value at the top and the fixpoint at the bottom.  A
+status variable is *feasible* when it lies between its final and initial
+values.
+
+This module provides the three orders used by the paper's proofs of
+concept:
+
+* :class:`MinValueOrder` — numeric ``≤`` (SSSP distances, CC component
+  ids; values only shrink),
+* :class:`BooleanOrder` — ``false ⪯ true`` (graph simulation; matches are
+  only retracted), and
+* :class:`IntervalOrder` — ``[a, b] ⪯ [c, d]`` iff ``b ≤ c`` (DFS
+  intervals; a node's interval only moves earlier in the traversal).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Tuple
+
+
+class PartialOrder(ABC):
+    """A partial order ``⪯`` on status-variable values."""
+
+    @abstractmethod
+    def leq(self, a: Any, b: Any) -> bool:
+        """Whether ``a ⪯ b``."""
+
+    def lt(self, a: Any, b: Any) -> bool:
+        """Strict order: ``a ≺ b``."""
+        return a != b and self.leq(a, b)
+
+    def comparable(self, a: Any, b: Any) -> bool:
+        return self.leq(a, b) or self.leq(b, a)
+
+
+class MinValueOrder(PartialOrder):
+    """Numeric ``≤``; used when update functions are minimizations.
+
+    SSSP distances start at ``∞`` and contract downward; CC component ids
+    start at the node's own id and contract to the component minimum.
+
+    >>> MinValueOrder().lt(3, float('inf'))
+    True
+    """
+
+    def leq(self, a: Any, b: Any) -> bool:
+        return a <= b
+
+
+class BooleanOrder(PartialOrder):
+    """``false ⪯ true``; graph simulation retracts matches monotonically.
+
+    >>> BooleanOrder().lt(False, True)
+    True
+    >>> BooleanOrder().leq(True, False)
+    False
+    """
+
+    def leq(self, a: Any, b: Any) -> bool:
+        return (not a) or bool(b)
+
+
+class IntervalOrder(PartialOrder):
+    """The DFS interval order of Section 5.2.
+
+    Status variables are closed intervals ``[first, last]``; the paper
+    defines ``x_v ⪯ x_u`` iff ``v.last ≤ u.first`` — that is, ``v``'s whole
+    traversal window finishes no later than ``u``'s begins.  The initial
+    value ``[∞, ∞]`` is above every concrete interval, and DFS assignment
+    moves intervals strictly earlier, so DFS_fp is contracting under this
+    order.
+
+    Equal intervals are also considered ``⪯`` (reflexivity), which the
+    abstract definition needs even though ``last ≤ first`` fails for
+    non-degenerate intervals.
+
+    >>> order = IntervalOrder()
+    >>> order.lt((0, 3), (4, 9))
+    True
+    >>> inf = float('inf')
+    >>> order.lt((4, 9), (inf, inf))
+    True
+    """
+
+    def leq(self, a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+        if a == b:
+            return True
+        return a[1] <= b[0]

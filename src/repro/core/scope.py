@@ -1,0 +1,188 @@
+"""The generic initial scope function ``h`` (Figure 4 of the paper).
+
+Given the previous fixpoint ``D^r_A`` and updates ``ΔG``, ``h`` produces
+
+* an initial scope ``H⁰_{A_Δ}`` seeding the resumed step function, and
+* a *feasible* status ``D⁰_{A_Δ}`` for ``G ⊕ ΔG`` — every variable lies
+  between its new final value and its initial value under ``⪯``.
+
+The implementation follows Figure 4 line by line:
+
+1. Collect into ``H⁰`` the variables whose update-function input sets
+   evolved due to ``ΔG`` (``spec.changed_input_keys``).
+2. Initialize a priority queue with them, ordered by the topological
+   order ``<_C`` induced by anchor sets (``spec.order_key`` — final
+   values for deducible specs, timestamps for weakly deducible ones).
+3. Pop the smallest variable ``x_i``; build the *feasibilized* input set
+   ``Ȳ``: any input later than ``x_i`` in ``<_C`` is reset to its initial
+   value ``y^⊥`` (line 6), inputs earlier in the order keep their —
+   already repaired — current values.
+4. If the old value is strictly below ``f(Ȳ)`` (``x_i ≺ f(Ȳ)``), the old
+   value is potentially infeasible: adopt ``f(Ȳ)``, add ``x_i`` to
+   ``H⁰``, and enqueue every ``z`` with ``x_i ∈ C_z``
+   (``spec.anchor_dependents``, line 9).
+
+Because contributors precede their dependents in ``<_C``, pops are
+monotone in the order and each variable needs processing at most once.
+
+Boundedness: every repaired variable either changes value on ``G ⊕ ΔG``
+or has an evolved input set, so ``H⁰ ⊆ AFF`` (Section 4); this is checked
+empirically by :mod:`repro.core.boundedness`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Hashable, Set, Tuple
+
+from ..graph.graph import Graph
+from ..graph.updates import Batch
+from ..metrics.counters import NullCounter
+from .spec import FixpointSpec
+from .state import FixpointState
+
+
+def initial_scope(
+    spec: FixpointSpec,
+    graph_new: Graph,
+    query: Any,
+    state: FixpointState,
+    delta: Batch,
+) -> Set[Hashable]:
+    """Run ``h``: repair ``state`` to ``D⁰`` in place and return ``H⁰``.
+
+    ``graph_new`` must already be ``G ⊕ ΔG``; ``state`` must hold the
+    fixpoint of the batch run on ``G``.
+    """
+    counter = state.counter
+    counting = not isinstance(counter, NullCounter)
+
+    # Vertex updates (Section 4): retire variables of deleted nodes,
+    # seed variables of inserted ones at x^⊥.
+    for key in spec.removed_variables(delta, graph_new, query):
+        state.drop(key)
+    fresh_keys = set()
+    for key in spec.new_variables(delta, graph_new, query):
+        if key not in state.values:
+            state.seed(key, spec.initial_value(key, graph_new, query))
+            fresh_keys.add(key)
+
+    # Line 1: variables with evolved input sets.
+    seeds = {
+        key
+        for key in spec.changed_input_keys(delta, graph_new, query)
+        if key in state.values
+    }
+    seeds.update(fresh_keys)
+    h_scope: Set[Hashable] = set(seeds)
+
+    if not spec.repair_with_scope_function:
+        # Dependency-free specs (LCC): the resumed step function recomputes
+        # every seed exactly once; a repair pass here would double the work.
+        if counting:
+            for key in h_scope:
+                counter.on_scope_push(key)
+        return h_scope
+
+    # The order <_C is fixed by the *old* run.  Repairs overwrite values
+    # and timestamps in `state`, so keep a lazy overlay of pre-repair
+    # values/timestamps for order and anchor computations.
+    old_values: Dict[Hashable, Any] = {}
+    old_ts: Dict[Hashable, int] = {}
+    okey_cache: Dict[Hashable, Any] = {}
+
+    def old_value_of(key: Hashable) -> Any:
+        if key in old_values:
+            return old_values[key]
+        return state.values[key]
+
+    def old_timestamp_of(key: Hashable) -> int:
+        if key in old_ts:
+            return old_ts[key]
+        return state.timestamp(key)
+
+    def okey(key: Hashable) -> Any:
+        cached = okey_cache.get(key)
+        if cached is None:
+            cached = spec.order_key(key, old_value_of(key), old_timestamp_of(key))
+            okey_cache[key] = cached
+        return cached
+
+    # Line 2: priority queue ordered by <_C.  Only variables whose input
+    # sets changed in the raising direction of ⪯ can be infeasible; the
+    # remaining seeds are handled by the resumed step function.
+    repair_seeds = {
+        key
+        for key in spec.repair_seed_keys(delta, graph_new, query)
+        if key in state.values and key not in fresh_keys
+    }
+    tick = 0
+    que: list = []
+    queued: Set[Hashable] = set()
+    for key in repair_seeds:
+        tick += 1
+        heapq.heappush(que, (okey(key), tick, key))
+        queued.add(key)
+        if counting:
+            counter.on_scope_push(key)
+
+    processed: Set[Hashable] = set()
+    order = spec.order
+
+    while que:
+        x_okey, _, x = heapq.heappop(que)
+        if x in processed or x not in state.values:
+            continue
+        processed.add(x)
+
+        # Lines 4-6: feasibilized evaluation — inputs later in <_C are
+        # reset to their initial values.
+        def value_of_feasible(y: Hashable, _x_okey=x_okey) -> Any:
+            if counting:
+                counter.on_read(y)
+            if y not in state.values:
+                return spec.initial_value(y, graph_new, query)
+            if y in processed or y in old_values:
+                # Already repaired (or being repaired): current value is
+                # feasible for the new graph.
+                return state.values[y]
+            if okey(y) < _x_okey:
+                # Strictly earlier in <_C: feasible by induction on the
+                # repair order.
+                return state.values[y]
+            # Later in <_C — or tied with x_i, in which case y cannot be a
+            # contributor of x_i and its old value is untrusted: reset to
+            # the initial value (Figure 4, line 6).
+            return spec.initial_value(y, graph_new, query)
+
+        if counting:
+            counter.on_eval(x)
+        new_value = spec.update(x, value_of_feasible, graph_new, query)
+        old_value = state.values[x]
+
+        # Line 7: x_i ≺ f(Ȳ) — the stored value may be infeasible.
+        infeasible = (
+            order.lt(old_value, new_value)
+            if order is not None
+            else new_value != old_value
+        )
+        if not infeasible:
+            continue
+
+        # Line 8: repair and record.
+        old_values.setdefault(x, old_value)
+        old_ts.setdefault(x, state.timestamp(x))
+        state.set(x, new_value)
+        h_scope.add(x)
+
+        # Line 9: enqueue every z whose anchor set contains x.
+        for z in spec.anchor_dependents(x, old_value_of, old_timestamp_of, graph_new, query):
+            if z in processed or z in queued or z not in state.values:
+                continue
+            tick += 1
+            heapq.heappush(que, (okey(z), tick, z))
+            queued.add(z)
+            if counting:
+                counter.on_scope_push(z)
+
+    return h_scope

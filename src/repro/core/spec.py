@@ -1,0 +1,218 @@
+"""The fixpoint-algorithm abstraction (Section 3 of the paper).
+
+A batch algorithm ``A ∈ Φ`` is described to this library as a
+:class:`FixpointSpec`: the set of status variables ``Ψ_A``, the update
+function ``f_{x_i}`` with its input set ``Y_{x_i}``, the scheduling
+discipline of the step function ``f_A``, and — for the bounded
+incrementalization of Section 4 — the partial order making the algorithm
+contracting and monotonic, the anchor sets ``C_{x_i}``, and the mapping
+from updates ``ΔG`` to variables whose input sets evolve.
+
+Given a spec, :func:`repro.core.engine.run_fixpoint` executes the batch
+computation (Eq. 1), and :class:`repro.core.incremental.IncrementalAlgorithm`
+deduces the incremental counterpart ``A_Δ`` (Eqs. 2–3) using the generic
+initial scope function of Figure 4.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Hashable, Iterable, Optional
+
+from ..graph.graph import Graph
+from ..graph.updates import Batch
+from .orders import PartialOrder
+
+Key = Hashable
+Value = Any
+ValueGetter = Callable[[Key], Value]
+
+
+class FixpointSpec(ABC):
+    """Declarative description of a fixpoint algorithm ``A``.
+
+    Subclasses must define the *model* hooks (variables, initial values,
+    update functions, dependency structure).  For bounded
+    incrementalization (Theorem 3), they additionally define the *anchor*
+    hooks — :meth:`order_key`, :meth:`anchor_dependents`, and
+    :meth:`changed_input_keys` — which together implement the topological
+    order ``<_C`` and the change-propagation capture of Section 4.
+
+    Class attributes
+    ----------------
+    name:
+        Human-readable algorithm name (used in benchmark tables).
+    order:
+        The partial order ``⪯`` under which the algorithm is contracting
+        and monotonic, or ``None`` for non-contracting specs (e.g. LCC)
+        that rely on Theorem 1 only.
+    uses_timestamps:
+        True for *weakly deducible* incrementalizations that derive
+        ``<_C`` from timestamps (CC, Sim); false for *deducible* ones that
+        derive it from final values (SSSP, DFS, LCC).
+    """
+
+    name: str = "fixpoint"
+    order: Optional[PartialOrder] = None
+    uses_timestamps: bool = False
+    #: Whether the scope function runs the Figure-4 repair loop.  Specs
+    #: whose update functions read the graph only (no status-variable
+    #: inputs, e.g. LCC) set this to False: seeding the scope is enough,
+    #: since the resumed step function recomputes each seed exactly once.
+    repair_with_scope_function: bool = True
+    #: Whether :meth:`edge_candidate` gives an exact single-input bound on
+    #: ``f``.  When true the engine propagates changes *push*-style —
+    #: relaxing one dependent per edge like Dijkstra — instead of
+    #: re-pulling whole input sets, which matters on high-degree hubs.
+    supports_push: bool = False
+
+    # ------------------------------------------------------------------
+    # Model hooks: Ψ_A, x^⊥, f_{x_i}, Y_{x_i}, scheduling
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def variables(self, graph: Graph, query: Any) -> Iterable[Key]:
+        """Enumerate the status variables ``Ψ_A``."""
+
+    @abstractmethod
+    def initial_value(self, key: Key, graph: Graph, query: Any) -> Value:
+        """The initial value ``x_i^⊥`` (the top of ``⪯`` for this variable)."""
+
+    @abstractmethod
+    def update(self, key: Key, value_of: ValueGetter, graph: Graph, query: Any) -> Value:
+        """Evaluate ``f_{x_i}(Y_{x_i})``.
+
+        ``value_of`` reads the current value of any status variable; every
+        call is counted by the engine's instrumentation.  The function
+        must be *pure* given the graph and the read variables.
+        """
+
+    @abstractmethod
+    def dependents(self, key: Key, graph: Graph, query: Any) -> Iterable[Key]:
+        """Variables ``x_j`` whose input set ``Y_{x_j}`` contains ``x_i``.
+
+        When ``x_i`` changes, these are added to the scope ``H`` by the
+        step function.
+        """
+
+    def initial_scope(self, graph: Graph, query: Any) -> Iterable[Key]:
+        """``H⁰`` for the batch run — variables that may violate σ initially.
+
+        Defaults to all variables, which is always sound.
+        """
+        return self.variables(graph, query)
+
+    def edge_candidate(
+        self, dep: Key, cause: Key, cause_value: Value, graph: Graph, query: Any
+    ) -> Value:
+        """The contribution of ``cause``'s new value to dependent ``dep``.
+
+        Only used when :attr:`supports_push` is true.  Must satisfy
+        ``f_{dep}(Y) = min_⪯ over inputs of edge_candidate(...)`` so that
+        push-based relaxation reaches the same fixpoint as pull-based
+        re-evaluation (e.g. SSSP: ``cause_value + L(cause, dep)``).
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support push propagation")
+
+    def relaxation_pairs(self, delta: Batch, graph_new: Graph, query: Any):
+        """Per-edge relaxations replacing full evaluations of insertion seeds.
+
+        For push-capable specs, a variable whose input set only *grew* can
+        be updated by relaxing the new inputs alone: ``f(Y ∪ {y}) =
+        min_⪯(f(Y), candidate(y))`` and the stored value already equals
+        ``f(Y)``.  Return ``(cause, dep)`` pairs — one per inserted edge
+        direction — and the engine will relax instead of re-pulling the
+        seed's whole input set.  Return ``None`` (the default) to fall
+        back to full seed evaluation.
+        """
+        return None
+
+    def priority(self, key: Key, cause_value: Value) -> Any:
+        """Scheduling priority for pushing ``key`` into the scope.
+
+        ``cause_value`` is the just-written value of the variable whose
+        change scheduled ``key``.  Return ``None`` (the default) for FIFO
+        scheduling; return a sortable value for priority scheduling (e.g.
+        Dijkstra pops in order of settled distance).
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Anchor hooks: <_C, C_{x_i}, and ΔG → evolved input sets (Section 4)
+    # ------------------------------------------------------------------
+    def order_key(self, key: Key, value: Value, timestamp: int) -> Any:
+        """The position of ``x_i`` in the topological order ``<_C``.
+
+        Deducible specs derive this from the final value (e.g. SSSP uses
+        the distance itself); weakly deducible specs use the timestamp.
+        The default uses the timestamp, which is always a valid
+        linearization of the batch run's change propagation.
+        """
+        return timestamp
+
+    def changed_input_keys(self, delta: Batch, graph_new: Graph, query: Any) -> Iterable[Key]:
+        """Variables whose update-function input sets evolved due to ``ΔG``.
+
+        This seeds both ``H⁰`` and the repair queue of the scope function
+        (Figure 4, line 1).  ``graph_new`` is ``G ⊕ ΔG``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define changed_input_keys; "
+            "it cannot be incrementalized with the generic scope function"
+        )
+
+    def repair_seed_keys(self, delta: Batch, graph_new: Graph, query: Any) -> Iterable[Key]:
+        """The subset of changed-input variables that may be *infeasible*.
+
+        A stored value can only violate feasibility when its update
+        function could now evaluate *above* it — i.e. when the input set
+        changed in the raising direction of ``⪯`` (SSSP/CC: heads of
+        deleted edges; Sim: tails of inserted edges).  Only these enter
+        the Figure-4 repair queue; the other changed-input variables
+        still seed ``H⁰`` for the resumed step function, which handles
+        all lowering.  The default is the full changed set, which is
+        always correct.
+        """
+        return self.changed_input_keys(delta, graph_new, query)
+
+    def anchor_dependents(
+        self,
+        key: Key,
+        value_of: ValueGetter,
+        timestamp_of: Callable[[Key], int],
+        graph_new: Graph,
+        query: Any,
+    ) -> Iterable[Key]:
+        """Variables ``z`` with ``x_i ∈ C_z`` (Figure 4, line 9).
+
+        Consulted when ``x_i`` is found infeasible: every variable whose
+        anchor set contains ``x_i`` may be infeasible too.  Only edges of
+        the *updated* graph need to be consulted — anchor edges removed by
+        ``ΔG`` are already covered by :meth:`changed_input_keys`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define anchor_dependents; "
+            "it cannot be incrementalized with the generic scope function"
+        )
+
+    def new_variables(self, delta: Batch, graph_new: Graph, query: Any) -> Iterable[Key]:
+        """Variables introduced by vertex insertions in ``ΔG``.
+
+        The incremental driver initializes these to ``x^⊥`` before running
+        the scope function (Section 4, "Vertex updates").  The default
+        returns nothing, which is correct for pure edge updates.
+        """
+        return ()
+
+    def removed_variables(self, delta: Batch, graph_new: Graph, query: Any) -> Iterable[Key]:
+        """Variables retired by vertex deletions in ``ΔG``."""
+        return ()
+
+    # ------------------------------------------------------------------
+    # Result extraction
+    # ------------------------------------------------------------------
+    def extract(self, values: dict, graph: Graph, query: Any) -> Any:
+        """Turn the fixpoint variable assignment into the query answer Q(G).
+
+        Defaults to returning the raw variable map.
+        """
+        return dict(values)

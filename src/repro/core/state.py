@@ -1,0 +1,116 @@
+"""Fixpoint state ``D_A = (S_A, R_A)`` with timestamps and instrumentation.
+
+The paper's *status* ``D_A`` tracks the computation of a fixpoint
+algorithm: the data structures ``S_A`` (here: the variable table itself)
+and the partial results ``R_A`` (the variable values after each round).
+Weakly deducible incrementalizations additionally record a *timestamp*
+per variable — the logical time of its last change — from which the
+topological order ``<_C`` is derived (Section 4).
+
+:class:`FixpointState` is produced by a batch run and consumed (and
+updated in place) by the deduced incremental algorithm, so repeated
+update batches can be applied one after another, each starting from the
+previous fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from ..metrics.counters import AccessCounter, NullCounter
+
+Key = Hashable
+Value = Any
+
+
+class FixpointState:
+    """Variable values, timestamps, and access instrumentation.
+
+    Parameters
+    ----------
+    counter:
+        The :class:`~repro.metrics.counters.AccessCounter` receiving
+        read/write events.  Defaults to a no-op counter.
+
+    Notes
+    -----
+    Timestamps are a logical clock: the clock ticks on every value write,
+    and a variable's timestamp is the tick of its last change.  Variables
+    never written retain timestamp ``-1`` (the paper's convention for
+    Sim variables that start false).
+    """
+
+    __slots__ = ("values", "timestamps", "clock", "counter", "rounds", "changelog")
+
+    def __init__(self, counter: Optional[AccessCounter] = None) -> None:
+        self.values: Dict[Key, Value] = {}
+        self.timestamps: Dict[Key, int] = {}
+        self.clock = 0
+        self.counter: AccessCounter = counter if counter is not None else NullCounter()
+        self.rounds = 0
+        # When set to a dict, every write records {key: value_before_first_write}.
+        self.changelog: Optional[Dict[Key, Value]] = None
+
+    # ------------------------------------------------------------------
+    def seed(self, key: Key, value: Value) -> None:
+        """Initialize a variable to ``x^⊥`` without counting or timestamping."""
+        self.values[key] = value
+        self.timestamps[key] = -1
+
+    def get(self, key: Key) -> Value:
+        """Counted read of a variable."""
+        self.counter.on_read(key)
+        return self.values[key]
+
+    def peek(self, key: Key) -> Value:
+        """Uncounted read, for result extraction and reporting."""
+        return self.values[key]
+
+    def set(self, key: Key, value: Value) -> None:
+        """Counted, timestamped write of a variable."""
+        if self.changelog is not None and key not in self.changelog:
+            self.changelog[key] = self.values.get(key)
+        self.counter.on_write(key)
+        self.values[key] = value
+        self.timestamps[key] = self.clock
+        self.clock += 1
+
+    def timestamp(self, key: Key) -> int:
+        return self.timestamps.get(key, -1)
+
+    def drop(self, key: Key) -> None:
+        """Retire a variable (vertex deletion)."""
+        if self.changelog is not None and key not in self.changelog:
+            self.changelog[key] = self.values.get(key)
+        self.values.pop(key, None)
+        self.timestamps.pop(key, None)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "FixpointState":
+        """A deep copy sharing no mutable structure (counter is fresh)."""
+        clone = FixpointState()
+        clone.values = dict(self.values)
+        clone.timestamps = dict(self.timestamps)
+        clone.clock = self.clock
+        clone.rounds = self.rounds
+        return clone
+
+    def start_changelog(self) -> Dict[Key, Value]:
+        """Begin recording ΔO; returns the live changelog dict."""
+        self.changelog = {}
+        return self.changelog
+
+    def stop_changelog(self) -> Dict[Key, Value]:
+        """Stop recording and return {key: old_value} for every changed key."""
+        log = self.changelog if self.changelog is not None else {}
+        self.changelog = None
+        return log
+
+    def __repr__(self) -> str:
+        return f"FixpointState(|Ψ|={len(self.values)}, clock={self.clock}, rounds={self.rounds})"

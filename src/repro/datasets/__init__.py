@@ -1,0 +1,5 @@
+"""Deterministic proxy datasets mirroring the paper's six graphs."""
+
+from .registry import DatasetSpec, available, load, spec
+
+__all__ = ["DatasetSpec", "available", "load", "spec"]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  The subclasses separate failures of the
+*substrate* (graph manipulation, I/O) from failures of the *framework*
+(fixpoint specification, incrementalization).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Structural graph errors (unknown nodes, duplicate edges, ...)."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class DuplicateEdgeError(GraphError):
+    """Inserting an edge that already exists."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) already exists")
+        self.edge = (u, v)
+
+
+class DuplicateNodeError(GraphError):
+    """Inserting a node that already exists."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} already exists")
+        self.node = node
+
+
+class UpdateError(ReproError):
+    """An update batch cannot be applied to the target graph."""
+
+
+class FixpointError(ReproError):
+    """A fixpoint specification is inconsistent or its run diverged."""
+
+
+class IncrementalizationError(ReproError):
+    """The incrementalization machinery was misused.
+
+    Raised, for example, when an incremental run is started from a state
+    that was not produced by the matching batch algorithm, or when a spec
+    that requires timestamps is incrementalized without them.
+    """
+
+
+class DatasetError(ReproError):
+    """A named dataset cannot be materialized."""

@@ -1,0 +1,35 @@
+"""Synthetic workload generation: graphs, update streams, patterns."""
+
+from .patterns import label_distribution, paper_patterns, random_pattern
+from .random_graphs import (
+    DEFAULT_ALPHABET,
+    assign_labels,
+    assign_weights,
+    barabasi_albert,
+    erdos_renyi,
+    grid_2d,
+    largest_component_root,
+    rmat,
+    watts_strogatz,
+)
+from .temporal import synthetic_temporal
+from .updates import random_updates, split_percentages, touch_biased_updates
+
+__all__ = [
+    "DEFAULT_ALPHABET",
+    "assign_labels",
+    "assign_weights",
+    "barabasi_albert",
+    "erdos_renyi",
+    "grid_2d",
+    "label_distribution",
+    "largest_component_root",
+    "paper_patterns",
+    "random_pattern",
+    "random_updates",
+    "rmat",
+    "split_percentages",
+    "synthetic_temporal",
+    "touch_biased_updates",
+    "watts_strogatz",
+]

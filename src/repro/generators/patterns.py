@@ -1,0 +1,84 @@
+"""Graph-pattern generators for simulation queries.
+
+The paper's Sim experiments use patterns ``|Q| = (4, 6)`` — 4 nodes and
+6 edges — "constructed on each graph with labels drawn from the data
+graphs".  :func:`random_pattern` reproduces this: a connected directed
+pattern of requested shape whose labels are sampled from the label
+distribution of a data graph (so the pattern actually matches
+something).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from ..errors import GraphError
+from ..graph.graph import Graph
+
+
+def label_distribution(graph: Graph) -> Counter:
+    """Frequency of node labels in a data graph."""
+    return Counter(graph.node_label(v) for v in graph.nodes())
+
+
+def random_pattern(
+    data_graph: Optional[Graph] = None,
+    num_nodes: int = 4,
+    num_edges: int = 6,
+    seed: int = 0,
+    labels: Optional[Sequence[str]] = None,
+) -> Graph:
+    """A connected directed pattern ``Q = (V_Q, E_Q, L_Q)``.
+
+    Labels are drawn proportionally to the data graph's label frequencies
+    (or uniformly from ``labels`` when no data graph is given).  The
+    pattern is built as a random arborescence plus extra random edges —
+    connected by construction, cyclic whenever ``num_edges`` allows.
+
+    >>> q = random_pattern(labels=['a', 'b'], num_nodes=3, num_edges=3, seed=1)
+    >>> (q.num_nodes, q.num_edges)
+    (3, 3)
+    """
+    max_edges = num_nodes * (num_nodes - 1)
+    if num_edges > max_edges:
+        raise GraphError(f"cannot place {num_edges} edges on a {num_nodes}-node simple pattern")
+    if num_edges < num_nodes - 1:
+        raise GraphError("need at least num_nodes - 1 edges for a connected pattern")
+
+    rng = random.Random(seed)
+    if data_graph is not None:
+        dist = label_distribution(data_graph)
+        population: List = list(dist.keys())
+        weights = [dist[label] for label in population]
+    elif labels:
+        population, weights = list(labels), [1.0] * len(labels)
+    else:
+        raise GraphError("random_pattern needs a data graph or a label alphabet")
+
+    pattern = Graph(directed=True)
+    for u in range(num_nodes):
+        pattern.add_node(u, label=rng.choices(population, weights=weights)[0])
+
+    # Random arborescence-ish backbone: node i attaches to a predecessor.
+    for v in range(1, num_nodes):
+        u = rng.randrange(v)
+        if rng.random() < 0.5:
+            pattern.add_edge(u, v)
+        else:
+            pattern.add_edge(v, u)
+    while pattern.num_edges < num_edges:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u != v and not pattern.has_edge(u, v):
+            pattern.add_edge(u, v)
+    return pattern
+
+
+def paper_patterns(data_graph: Graph, count: int = 5, seed: int = 0) -> List[Graph]:
+    """The paper's Sim workload: ``count`` patterns with |Q| = (4, 6)."""
+    return [
+        random_pattern(data_graph, num_nodes=4, num_edges=6, seed=seed + i)
+        for i in range(count)
+    ]

@@ -1,0 +1,229 @@
+"""Synthetic graph generators.
+
+The paper evaluates on social networks (LiveJournal, Orkut, Twitter,
+Friendster), a knowledge base (DBPedia), and synthetic graphs from its
+own generator ("controlled by the number of nodes and edges with labels
+drawn from an alphabet of 5 labels").  This module provides the
+generator family our dataset proxies are built from:
+
+* :func:`erdos_renyi` — uniform random graphs (G(n, m) style);
+* :func:`barabasi_albert` — preferential attachment, the standard
+  power-law proxy for social networks;
+* :func:`rmat` — Kronecker-style generator (used by Graph500) whose
+  skew parameters mimic web/Twitter-like graphs;
+* :func:`watts_strogatz` — small-world graphs with high clustering,
+  interesting for LCC;
+* :func:`grid_2d` — road-network-like lattices for SSSP.
+
+All generators take an explicit ``seed`` and emit integer node ids
+``0..n-1``; :func:`assign_labels` and :func:`assign_weights` decorate any
+graph afterwards.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import GraphError
+from ..graph.graph import Graph
+
+
+def _empty(n: int, directed: bool) -> Graph:
+    g = Graph(directed=directed)
+    for v in range(n):
+        g.add_node(v)
+    return g
+
+
+def erdos_renyi(n: int, m: int, directed: bool = False, seed: int = 0) -> Graph:
+    """G(n, m): ``m`` distinct uniform random edges (no self-loops).
+
+    >>> g = erdos_renyi(10, 15, seed=1)
+    >>> (g.num_nodes, g.num_edges)
+    (10, 15)
+    """
+    max_edges = n * (n - 1) if directed else n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"cannot place {m} edges in a simple graph on {n} nodes")
+    rng = random.Random(seed)
+    g = _empty(n, directed)
+    placed = 0
+    while placed < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v)
+        placed += 1
+    return g
+
+
+def barabasi_albert(n: int, m_attach: int, directed: bool = False, seed: int = 0) -> Graph:
+    """Preferential attachment: each new node attaches to ``m_attach`` others.
+
+    Produces a power-law degree distribution — the degree skew that
+    drives affected-area sizes on social graphs.
+    """
+    if m_attach < 1 or m_attach >= n:
+        raise GraphError("barabasi_albert requires 1 <= m_attach < n")
+    rng = random.Random(seed)
+    g = _empty(n, directed)
+    # Repeated-endpoint list: sampling from it is degree-proportional.
+    targets: List[int] = list(range(m_attach))
+    repeated: List[int] = list(range(m_attach))
+    for v in range(m_attach, n):
+        chosen = set()
+        while len(chosen) < m_attach:
+            chosen.add(rng.choice(repeated) if repeated else rng.randrange(v))
+        for u in chosen:
+            if not g.has_edge(v, u):
+                g.add_edge(v, u)
+        repeated.extend(chosen)
+        repeated.extend([v] * m_attach)
+    del targets
+    return g
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    directed: bool = True,
+    seed: int = 0,
+) -> Graph:
+    """R-MAT / Kronecker generator: ``2**scale`` nodes, skewed adjacency.
+
+    The default (a, b, c) are the Graph500 parameters; they produce the
+    heavy-tailed, community-free structure typical of web and Twitter
+    graphs.  Duplicate edges are dropped, so the edge count is slightly
+    below ``edge_factor · 2**scale``.
+    """
+    n = 1 << scale
+    rng = random.Random(seed)
+    g = _empty(n, directed)
+    attempts = edge_factor * n
+    for _ in range(attempts):
+        u = v = 0
+        for _level in range(scale):
+            r = rng.random()
+            if r < a:
+                quadrant = (0, 0)
+            elif r < a + b:
+                quadrant = (0, 1)
+            elif r < a + b + c:
+                quadrant = (1, 0)
+            else:
+                quadrant = (1, 1)
+            u = (u << 1) | quadrant[0]
+            v = (v << 1) | quadrant[1]
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def watts_strogatz(n: int, k: int, beta: float = 0.1, seed: int = 0) -> Graph:
+    """Small-world rewiring: ring lattice of degree ``k``, rewired w.p. β.
+
+    High clustering coefficient — the interesting regime for LCC.
+    """
+    if k % 2 or k >= n:
+        raise GraphError("watts_strogatz requires even k < n")
+    rng = random.Random(seed)
+    g = _empty(n, directed=False)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            u = (v + j) % n
+            if not g.has_edge(v, u):
+                g.add_edge(v, u)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            u = (v + j) % n
+            if rng.random() < beta and g.has_edge(v, u):
+                w = rng.randrange(n)
+                if w != v and not g.has_edge(v, w):
+                    g.remove_edge(v, u)
+                    g.add_edge(v, w)
+    return g
+
+
+def grid_2d(rows: int, cols: int, seed: int = 0, max_weight: float = 10.0) -> Graph:
+    """A road-network-like 2-D lattice with random positive edge weights."""
+    rng = random.Random(seed)
+    g = Graph(directed=False)
+    for r in range(rows):
+        for c in range(cols):
+            g.ensure_node(r * cols + c)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1, weight=1.0 + rng.random() * (max_weight - 1.0))
+            if r + 1 < rows:
+                g.add_edge(v, v + cols, weight=1.0 + rng.random() * (max_weight - 1.0))
+    return g
+
+
+DEFAULT_ALPHABET: Sequence[str] = ("a", "b", "c", "d", "e")
+
+
+def assign_labels(
+    graph: Graph,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    seed: int = 0,
+    zipf: bool = False,
+) -> Graph:
+    """Label every node from ``alphabet`` (uniform, or Zipfian when asked).
+
+    The paper's synthetic generator draws from an alphabet of 5 labels;
+    the Zipfian option mimics knowledge-base label skew (DBPedia proxy).
+    """
+    rng = random.Random(seed)
+    if zipf:
+        weights = [1.0 / (i + 1) for i in range(len(alphabet))]
+    else:
+        weights = [1.0] * len(alphabet)
+    for v in graph.nodes():
+        graph.set_node_label(v, rng.choices(list(alphabet), weights=weights)[0])
+    return graph
+
+
+def assign_weights(graph: Graph, low: float = 1.0, high: float = 10.0, seed: int = 0) -> Graph:
+    """Give every edge a uniform random weight in ``[low, high]``."""
+    rng = random.Random(seed)
+    for u, v in list(graph.edges()):
+        graph.set_weight(u, v, low + rng.random() * (high - low))
+    return graph
+
+
+def largest_component_root(graph: Graph) -> Optional[int]:
+    """A node inside the largest (weakly) connected component.
+
+    Benchmarks source their SSSP queries here so distances are mostly
+    finite.
+    """
+    best_root, best_size = None, -1
+    seen = set()
+    for v in graph.nodes():
+        if v in seen:
+            continue
+        stack, members = [v], 0
+        seen.add(v)
+        component_root = v
+        while stack:
+            x = stack.pop()
+            members += 1
+            neighbors = (
+                list(graph.out_neighbors(x)) + list(graph.in_neighbors(x))
+                if graph.directed
+                else graph.neighbors(x)
+            )
+            for w in neighbors:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        if members > best_size:
+            best_root, best_size = component_root, members
+    return best_root

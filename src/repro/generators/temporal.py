@@ -1,0 +1,80 @@
+"""Synthetic temporal-graph generator (the Wiki-DE proxy).
+
+The paper's Exp-2(2) extracts real-life updates from Wiki-DE, a temporal
+graph of hyperlink additions/removals, by slicing 5 months of history;
+the measured mix inside a month is 81% insertions / 19% deletions and a
+month's updates average 1.9% of |G|.
+
+:func:`synthetic_temporal` reproduces those knobs without the
+proprietary dump: it grows a base graph, then emits a timestamped event
+stream over a configurable horizon with the paper's insertion share.
+Deletion events target live edges, so replaying the stream is always
+consistent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+from ..errors import GraphError
+from ..graph.graph import Graph, Node
+from ..graph.temporal import EdgeEvent, TemporalGraph
+
+
+def synthetic_temporal(
+    base_graph: Graph,
+    num_events: int,
+    insert_fraction: float = 0.81,
+    horizon: float = 5.0,
+    seed: int = 0,
+) -> TemporalGraph:
+    """Wrap ``base_graph`` in a temporal stream of ``num_events`` changes.
+
+    The base graph's edges become events at time 0; subsequent events are
+    spread uniformly over ``(0, horizon]`` (think: months) with the given
+    insertion share.  New edges connect existing nodes.
+
+    >>> from repro.generators import erdos_renyi
+    >>> tg = synthetic_temporal(erdos_renyi(20, 30, seed=1), 50, seed=2)
+    >>> tg.num_events
+    80
+    """
+    if base_graph.num_nodes < 2:
+        raise GraphError("temporal generator needs at least two nodes")
+    rng = random.Random(seed)
+    directed = base_graph.directed
+    nodes: List[Node] = list(base_graph.nodes())
+
+    def key(u: Node, v: Node) -> Tuple[Node, Node]:
+        if directed:
+            return (u, v)
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+
+    events: List[EdgeEvent] = []
+    live: Set[Tuple[Node, Node]] = set()
+    for u, v in base_graph.edges():
+        events.append(EdgeEvent(0.0, u, v, added=True, weight=base_graph.weight(u, v)))
+        live.add(key(u, v))
+
+    times = sorted(rng.random() * horizon for _ in range(num_events))
+    live_list: List[Tuple[Node, Node]] = list(live)
+    for t in times:
+        if rng.random() < insert_fraction or not live_list:
+            for _attempt in range(64):
+                u, v = rng.choice(nodes), rng.choice(nodes)
+                k = key(u, v)
+                if u != v and k not in live:
+                    live.add(k)
+                    live_list.append(k)
+                    events.append(EdgeEvent(t, u, v, added=True, weight=1.0 + rng.random() * 9.0))
+                    break
+        else:
+            i = rng.randrange(len(live_list))
+            live_list[i], live_list[-1] = live_list[-1], live_list[i]
+            k = live_list.pop()
+            if k not in live:
+                continue
+            live.discard(k)
+            events.append(EdgeEvent(t, k[0], k[1], added=False))
+    return TemporalGraph(directed=directed, events=events)

@@ -1,0 +1,34 @@
+"""Graph substrate: mutable graphs, updates ΔG, temporal streams, CSR, I/O."""
+
+from .csr import CSRGraph
+from .graph import DEFAULT_WEIGHT, Edge, Graph, Node, from_edges
+from .temporal import EdgeEvent, TemporalGraph
+from .updates import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    Update,
+    VertexDeletion,
+    VertexInsertion,
+    apply_updates,
+    updated_copy,
+)
+
+__all__ = [
+    "Batch",
+    "CSRGraph",
+    "DEFAULT_WEIGHT",
+    "Edge",
+    "EdgeDeletion",
+    "EdgeEvent",
+    "EdgeInsertion",
+    "Graph",
+    "Node",
+    "TemporalGraph",
+    "Update",
+    "VertexDeletion",
+    "VertexInsertion",
+    "apply_updates",
+    "from_edges",
+    "updated_copy",
+]

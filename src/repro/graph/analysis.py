@@ -1,0 +1,154 @@
+"""Descriptive graph statistics.
+
+Used by the CLI (`repro.cli stats`), the dataset documentation, and
+tests that assert structural properties of the proxy datasets (degree
+skew is what makes a social-network proxy a proxy).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .graph import Graph
+
+
+@dataclass
+class GraphStats:
+    """Summary statistics of a graph."""
+
+    num_nodes: int
+    num_edges: int
+    directed: bool
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    num_components: int
+    largest_component: int
+    num_labels: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "directed": self.directed,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": round(self.mean_degree, 3),
+            "components": self.num_components,
+            "largest_component": self.largest_component,
+            "labels": self.num_labels,
+        }
+
+
+def degree_histogram(graph: Graph) -> Counter:
+    """{degree: count} over all nodes (total degree for directed graphs)."""
+    return Counter(graph.degree(v) for v in graph.nodes())
+
+
+def component_sizes(graph: Graph) -> List[int]:
+    """Sizes of the (weakly) connected components, descending."""
+    seen = set()
+    sizes: List[int] = []
+    for v in graph.nodes():
+        if v in seen:
+            continue
+        stack, size = [v], 0
+        seen.add(v)
+        while stack:
+            x = stack.pop()
+            size += 1
+            neighbors = (
+                list(graph.out_neighbors(x)) + list(graph.in_neighbors(x))
+                if graph.directed
+                else graph.neighbors(x)
+            )
+            for w in neighbors:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        sizes.append(size)
+    return sorted(sizes, reverse=True)
+
+
+def degree_skewness(graph: Graph) -> Optional[float]:
+    """Sample skewness of the degree distribution (None if degenerate).
+
+    Power-law-ish proxies (BA, R-MAT) should report strongly positive
+    skew; lattices report ≈ 0.
+    """
+    degrees = [graph.degree(v) for v in graph.nodes()]
+    n = len(degrees)
+    if n < 3:
+        return None
+    mean = sum(degrees) / n
+    variance = sum((d - mean) ** 2 for d in degrees) / n
+    if variance == 0:
+        return None
+    third = sum((d - mean) ** 3 for d in degrees) / n
+    return third / variance ** 1.5
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """One-call summary used by ``repro.cli stats``.
+
+    >>> from repro.generators import erdos_renyi
+    >>> graph_stats(erdos_renyi(10, 15, seed=1)).num_edges
+    15
+    """
+    degrees = [graph.degree(v) for v in graph.nodes()]
+    components = component_sizes(graph)
+    labels = {graph.node_label(v) for v in graph.nodes()}
+    labels.discard(None)
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        directed=graph.directed,
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        mean_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        num_components=len(components),
+        largest_component=components[0] if components else 0,
+        num_labels=len(labels),
+    )
+
+
+def estimate_diameter(graph: Graph, samples: int = 8, seed: int = 0) -> int:
+    """Lower bound on the diameter via double-sweep BFS from samples."""
+    import random
+
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0
+    rng = random.Random(seed)
+    best = 0
+    for _ in range(samples):
+        start = rng.choice(nodes)
+        far, dist = _bfs_farthest(graph, start)
+        far2, dist2 = _bfs_farthest(graph, far)
+        best = max(best, dist, dist2)
+    return best
+
+
+def _bfs_farthest(graph: Graph, start):
+    from collections import deque
+
+    depth = {start: 0}
+    queue = deque([start])
+    farthest, far_depth = start, 0
+    while queue:
+        x = queue.popleft()
+        neighbors = (
+            list(graph.out_neighbors(x)) + list(graph.in_neighbors(x))
+            if graph.directed
+            else graph.neighbors(x)
+        )
+        for w in neighbors:
+            if w not in depth:
+                depth[w] = depth[x] + 1
+                if depth[w] > far_depth:
+                    farthest, far_depth = w, depth[w]
+                queue.append(w)
+    return farthest, far_depth

@@ -1,0 +1,166 @@
+"""Immutable CSR (compressed sparse row) snapshots.
+
+Batch algorithms in the paper run on static graphs; the authors' C++
+implementation stores them in compressed adjacency arrays.  This module
+provides the Python analogue: a numpy-backed CSR view of a
+:class:`~repro.graph.graph.Graph`, used by the batch fixpoint runners in
+the benchmark harness where neighbor scans dominate.
+
+The CSR snapshot is read-only: incremental algorithms operate on the
+mutable :class:`Graph`, batch re-runs may use the CSR for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import NodeNotFoundError
+from .graph import Graph, Node
+
+
+class CSRGraph:
+    """A compressed sparse row snapshot of a graph.
+
+    Node ids are densified into ``0..n-1``; :attr:`index_of` and
+    :attr:`node_of` translate between the original ids and dense indices.
+
+    >>> g = Graph(directed=True)
+    >>> g.add_edge('a', 'b', weight=2.0)
+    >>> csr = CSRGraph.from_graph(g)
+    >>> [csr.node_of[j] for j in csr.out_neighbors(csr.index_of['a'])]
+    ['b']
+    """
+
+    __slots__ = (
+        "directed",
+        "indptr",
+        "indices",
+        "weights",
+        "rindptr",
+        "rindices",
+        "rweights",
+        "node_of",
+        "index_of",
+    )
+
+    def __init__(
+        self,
+        directed: bool,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        rindptr: np.ndarray,
+        rindices: np.ndarray,
+        rweights: np.ndarray,
+        node_of: List[Node],
+        index_of: Dict[Node, int],
+    ) -> None:
+        self.directed = directed
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.rindptr = rindptr
+        self.rindices = rindices
+        self.rweights = rweights
+        self.node_of = node_of
+        self.index_of = index_of
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Snapshot a :class:`Graph` into CSR form.
+
+        For undirected graphs each edge appears in both rows, so the
+        forward arrays double as the reverse arrays.
+        """
+        node_of = list(graph.nodes())
+        index_of = {v: i for i, v in enumerate(node_of)}
+        n = len(node_of)
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, v in enumerate(node_of):
+            indptr[i + 1] = indptr[i] + graph.out_degree(v)
+        m = int(indptr[-1])
+        indices = np.empty(m, dtype=np.int64)
+        weights = np.empty(m, dtype=np.float64)
+        cursor = indptr[:-1].copy()
+        for i, v in enumerate(node_of):
+            for u, w in graph.out_items(v):
+                j = cursor[i]
+                indices[j] = index_of[u]
+                weights[j] = w
+                cursor[i] = j + 1
+
+        if not graph.directed:
+            return cls(False, indptr, indices, weights, indptr, indices, weights, node_of, index_of)
+
+        rindptr = np.zeros(n + 1, dtype=np.int64)
+        for i, v in enumerate(node_of):
+            rindptr[i + 1] = rindptr[i] + graph.in_degree(v)
+        rindices = np.empty(m, dtype=np.int64)
+        rweights = np.empty(m, dtype=np.float64)
+        cursor = rindptr[:-1].copy()
+        for i, v in enumerate(node_of):
+            for u, w in graph.in_items(v):
+                j = cursor[i]
+                rindices[j] = index_of[u]
+                rweights[j] = w
+                cursor[i] = j + 1
+        return cls(True, indptr, indices, weights, rindptr, rindices, rweights, node_of, index_of)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_of)
+
+    @property
+    def num_edges(self) -> int:
+        m = len(self.indices)
+        if self.directed:
+            return m
+        loops = int(np.sum(self.indices == np.repeat(np.arange(self.num_nodes), np.diff(self.indptr))))
+        return (m - loops) // 2 + loops
+
+    def out_neighbors(self, i: int) -> np.ndarray:
+        """Dense indices of out-neighbors of dense node ``i``."""
+        self._check(i)
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def out_weights(self, i: int) -> np.ndarray:
+        self._check(i)
+        return self.weights[self.indptr[i] : self.indptr[i + 1]]
+
+    def in_neighbors(self, i: int) -> np.ndarray:
+        self._check(i)
+        return self.rindices[self.rindptr[i] : self.rindptr[i + 1]]
+
+    def in_weights(self, i: int) -> np.ndarray:
+        self._check(i)
+        return self.rweights[self.rindptr[i] : self.rindptr[i + 1]]
+
+    def out_degree(self, i: int) -> int:
+        self._check(i)
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def _check(self, i: int) -> None:
+        if not 0 <= i < self.num_nodes:
+            raise NodeNotFoundError(i)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate dense ``(i, j, weight)`` triples (both directions if undirected)."""
+        for i in range(self.num_nodes):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            for k in range(lo, hi):
+                yield (i, int(self.indices[k]), float(self.weights[k]))
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the arrays, in bytes."""
+        total = self.indptr.nbytes + self.indices.nbytes + self.weights.nbytes
+        if self.directed:
+            total += self.rindptr.nbytes + self.rindices.nbytes + self.rweights.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"CSRGraph({kind}, |V|={self.num_nodes}, nnz={len(self.indices)})"

@@ -1,0 +1,162 @@
+"""Graph and update-stream serialization.
+
+Formats supported:
+
+* **Edge list** (``read_edge_list`` / ``write_edge_list``): one edge per
+  line — ``u v [weight]`` — the lingua franca of SNAP/KONECT datasets the
+  paper uses.  Lines starting with ``#`` or ``%`` are comments.
+* **Labeled edge list**: ``u u_label v v_label [weight]``, used for the
+  Sim workloads where node labels matter.
+* **JSON** (``read_json`` / ``write_json``): a complete round-trippable
+  dump of nodes, labels, edges, and weights.
+* **Temporal events** (``read_events`` / ``write_events``): the KONECT
+  temporal format ``u v sign time`` where sign is +1 (added) / -1
+  (removed), matching the Wiki-DE encoding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import GraphError
+from .graph import Graph
+from .temporal import EdgeEvent, TemporalGraph
+
+PathLike = Union[str, Path]
+
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def _parse_node(token: str):
+    """Interpret a token as an int when possible, else keep the string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+# ----------------------------------------------------------------------
+# Edge lists
+# ----------------------------------------------------------------------
+def read_edge_list(path: PathLike, directed: bool = False) -> Graph:
+    """Read a whitespace-separated ``u v [weight]`` file."""
+    g = Graph(directed=directed)
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'u v [weight]', got {line!r}")
+            u, v = _parse_node(parts[0]), _parse_node(parts[1])
+            weight = float(parts[2]) if len(parts) > 2 else 1.0
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, weight=weight)
+    return g
+
+
+def write_edge_list(graph: Graph, path: PathLike, write_weights: bool = True) -> None:
+    with open(path, "w") as f:
+        f.write(f"# {'directed' if graph.directed else 'undirected'}\n")
+        for u, v in graph.edges():
+            if write_weights:
+                f.write(f"{u} {v} {graph.weight(u, v)}\n")
+            else:
+                f.write(f"{u} {v}\n")
+
+
+def read_labeled_edge_list(path: PathLike, directed: bool = False) -> Graph:
+    """Read ``u u_label v v_label [weight]`` lines."""
+    g = Graph(directed=directed)
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = line.split()
+            if len(parts) < 4:
+                raise GraphError(
+                    f"{path}:{lineno}: expected 'u u_label v v_label [weight]', got {line!r}"
+                )
+            u, lu, v, lv = _parse_node(parts[0]), parts[1], _parse_node(parts[2]), parts[3]
+            weight = float(parts[4]) if len(parts) > 4 else 1.0
+            g.ensure_node(u, label=lu)
+            g.ensure_node(v, label=lv)
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, weight=weight)
+    return g
+
+
+def write_labeled_edge_list(graph: Graph, path: PathLike) -> None:
+    with open(path, "w") as f:
+        f.write(f"# {'directed' if graph.directed else 'undirected'}\n")
+        for u, v in graph.edges():
+            lu = graph.node_label(u, default="_")
+            lv = graph.node_label(v, default="_")
+            f.write(f"{u} {lu} {v} {lv} {graph.weight(u, v)}\n")
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def write_json(graph: Graph, path: PathLike) -> None:
+    """Dump a graph as round-trippable JSON."""
+    doc = {
+        "directed": graph.directed,
+        "nodes": [
+            {"id": v, "label": graph.node_label(v)} for v in graph.nodes()
+        ],
+        "edges": [
+            {
+                "u": u,
+                "v": v,
+                "weight": graph.weight(u, v),
+                "label": graph.edge_label(u, v),
+            }
+            for u, v in graph.edges()
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def read_json(path: PathLike) -> Graph:
+    with open(path) as f:
+        doc = json.load(f)
+    g = Graph(directed=doc["directed"])
+    for node in doc["nodes"]:
+        g.add_node(node["id"], label=node.get("label"))
+    for edge in doc["edges"]:
+        g.add_edge(edge["u"], edge["v"], weight=edge.get("weight", 1.0), label=edge.get("label"))
+    return g
+
+
+# ----------------------------------------------------------------------
+# Temporal events (KONECT style)
+# ----------------------------------------------------------------------
+def read_events(path: PathLike, directed: bool = False) -> TemporalGraph:
+    """Read ``u v sign time`` lines into a :class:`TemporalGraph`."""
+    events = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = line.split()
+            if len(parts) < 4:
+                raise GraphError(f"{path}:{lineno}: expected 'u v sign time', got {line!r}")
+            u, v = _parse_node(parts[0]), _parse_node(parts[1])
+            sign, time = int(parts[2]), float(parts[3])
+            events.append(EdgeEvent(time=time, u=u, v=v, added=sign > 0))
+    return TemporalGraph(directed=directed, events=events)
+
+
+def write_events(tg: TemporalGraph, path: PathLike) -> None:
+    with open(path, "w") as f:
+        f.write(f"% {'directed' if tg.directed else 'undirected'}\n")
+        for e in tg.events():
+            sign = 1 if e.added else -1
+            f.write(f"{e.u} {e.v} {sign} {e.time}\n")

@@ -1,0 +1,328 @@
+"""The update model ``ΔG``.
+
+Section 2 of the paper works with *unit updates* — single edge insertions
+or deletions — and *batch updates*, which are sequences of unit updates.
+Section 4 ("Vertex updates") extends the model to node insertions and
+deletions: removing a node is removing its incident edges, and inserting
+a node introduces fresh status variables.
+
+This module provides:
+
+* the four unit-update types (:class:`EdgeInsertion`, :class:`EdgeDeletion`,
+  :class:`VertexInsertion`, :class:`VertexDeletion`),
+* :class:`Batch` — an ordered sequence of unit updates with apply / invert /
+  normalize operations, and
+* :func:`apply_updates` / :func:`updated_copy` implementing ``G ⊕ ΔG``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+
+from ..errors import UpdateError
+from .graph import DEFAULT_WEIGHT, Graph, Node
+
+
+@dataclass(frozen=True)
+class EdgeInsertion:
+    """Insert edge ``(u, v)`` with the given weight and optional label."""
+
+    u: Node
+    v: Node
+    weight: float = DEFAULT_WEIGHT
+    label: Any = None
+
+    def inverted(self) -> "EdgeDeletion":
+        return EdgeDeletion(self.u, self.v)
+
+    def touched(self) -> Tuple[Node, Node]:
+        return (self.u, self.v)
+
+
+@dataclass(frozen=True)
+class EdgeDeletion:
+    """Delete edge ``(u, v)``."""
+
+    u: Node
+    v: Node
+
+    def inverted(self) -> EdgeInsertion:
+        return EdgeInsertion(self.u, self.v)
+
+    def touched(self) -> Tuple[Node, Node]:
+        return (self.u, self.v)
+
+
+@dataclass(frozen=True)
+class VertexInsertion:
+    """Insert node ``v``, optionally with adjacent edges.
+
+    Per Section 4 of the paper, a vertex insertion carries its adjacent
+    edges (with a dummy edge assumed when none are given), so the scope
+    function can seed new status variables.
+    """
+
+    v: Node
+    label: Any = None
+    edges: Tuple[EdgeInsertion, ...] = ()
+
+    def inverted(self) -> "VertexDeletion":
+        return VertexDeletion(self.v)
+
+    def touched(self) -> Tuple[Node, ...]:
+        nodes: List[Node] = [self.v]
+        for e in self.edges:
+            nodes.extend(e.touched())
+        return tuple(nodes)
+
+
+@dataclass(frozen=True)
+class VertexDeletion:
+    """Delete node ``v`` together with all its incident edges."""
+
+    v: Node
+
+    def touched(self) -> Tuple[Node]:
+        return (self.v,)
+
+
+Update = Union[EdgeInsertion, EdgeDeletion, VertexInsertion, VertexDeletion]
+
+
+@dataclass
+class Batch:
+    """A batch update ``ΔG``: an ordered sequence of unit updates.
+
+    ``Batch`` objects are what every incremental algorithm in this library
+    consumes.  A unit update is just a batch of size one.
+
+    >>> delta = Batch([EdgeInsertion(0, 1), EdgeDeletion(2, 3)])
+    >>> delta.size
+    2
+    """
+
+    updates: List[Update] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.updates = list(self.updates)
+
+    # -- collection protocol -------------------------------------------
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __getitem__(self, i: int) -> Update:
+        return self.updates[i]
+
+    def append(self, update: Update) -> None:
+        self.updates.append(update)
+
+    def extend(self, updates: Iterable[Update]) -> None:
+        self.updates.extend(updates)
+
+    @property
+    def size(self) -> int:
+        """``|ΔG|`` — the number of unit updates."""
+        return len(self.updates)
+
+    # -- analysis -------------------------------------------------------
+    def insertions(self) -> "Batch":
+        return Batch([u for u in self.updates if isinstance(u, (EdgeInsertion, VertexInsertion))])
+
+    def deletions(self) -> "Batch":
+        return Batch([u for u in self.updates if isinstance(u, (EdgeDeletion, VertexDeletion))])
+
+    def touched_nodes(self) -> Set[Node]:
+        """All nodes covered by ``ΔG`` — the seeds of the affected area."""
+        nodes: Set[Node] = set()
+        for u in self.updates:
+            nodes.update(u.touched())
+        return nodes
+
+    def unit_batches(self) -> Iterator["Batch"]:
+        """Split into unit updates, for the ``IncX_n`` one-by-one variants."""
+        for u in self.updates:
+            yield Batch([u])
+
+    # -- algebra ----------------------------------------------------------
+    def inverted(self) -> "Batch":
+        """The batch undoing this one, applied in reverse order.
+
+        Vertex deletions are not invertible (the incident edges are lost),
+        so inverting a batch containing one raises :class:`UpdateError`.
+        """
+        inverse: List[Update] = []
+        for u in reversed(self.updates):
+            if isinstance(u, VertexDeletion):
+                raise UpdateError("a VertexDeletion cannot be inverted: incident edges are lost")
+            inverse.append(u.inverted())
+        return Batch(inverse)
+
+    def normalized(self, directed: bool = True) -> "Batch":
+        """Cancel insert/delete pairs on the same edge.
+
+        A batch may insert and later delete the same edge (or vice versa);
+        the normalized batch keeps only the *net* effect per edge, which is
+        what the affected area ultimately depends on.  Pass
+        ``directed=False`` so that ``(u, v)`` and ``(v, u)`` are treated as
+        the same undirected edge.  Vertex updates are passed through
+        untouched (after the edge updates).
+        """
+
+        def edge_key(a, b):
+            if directed:
+                return (a, b)
+            try:
+                return (a, b) if a <= b else (b, a)
+            except TypeError:
+                return (a, b) if repr(a) <= repr(b) else (b, a)
+
+        net: dict = {}
+        order: List[object] = []
+        passthrough: List[Update] = []
+        for u in self.updates:
+            if isinstance(u, (VertexInsertion, VertexDeletion)):
+                passthrough.append(u)
+                continue
+            key = edge_key(u.u, u.v)
+            if key not in net:
+                order.append(key)
+                net[key] = u
+            else:
+                prev = net[key]
+                ins_then_del = isinstance(prev, EdgeInsertion) and isinstance(u, EdgeDeletion)
+                del_then_ins = isinstance(prev, EdgeDeletion) and isinstance(u, EdgeInsertion)
+                if ins_then_del or del_then_ins:
+                    del net[key]
+                    order.remove(key)
+                else:
+                    net[key] = u
+        result = [net[key] for key in order]
+        result.extend(passthrough)
+        return Batch(result)
+
+    def expanded(self, graph: Graph) -> "Batch":
+        """Rewrite vertex updates into explicit edge updates (Section 4).
+
+        * ``VertexInsertion(v, edges)`` becomes a bare vertex insertion
+          followed by its edge insertions.
+        * ``VertexDeletion(v)`` becomes explicit deletions of every edge
+          incident to ``v`` *at that point in the sequence*, followed by
+          the bare vertex deletion.
+
+        ``graph`` is the pre-update graph ``G``; it is not modified.  The
+        expansion is what incremental algorithms consume — their scope
+        functions then only ever reason about edge-level changes plus
+        bare vertex creation/retirement.
+        """
+        needs_simulation = any(isinstance(u, VertexDeletion) for u in self.updates)
+        sim = graph.copy() if needs_simulation else None
+        created: set = set()
+        removed: set = set()
+        out: List[Update] = []
+
+        def known(node: Node) -> bool:
+            if node in removed:
+                return False
+            return node in created or graph.has_node(node)
+
+        def materialize(node: Node) -> None:
+            # Edge insertions create absent endpoints implicitly; surface
+            # that as an explicit vertex insertion so incremental
+            # algorithms seed the new status variables.
+            if not known(node):
+                out.append(VertexInsertion(node))
+                created.add(node)
+                removed.discard(node)
+
+        for u in self.updates:
+            if isinstance(u, VertexInsertion):
+                out.append(VertexInsertion(u.v, u.label, ()))
+                created.add(u.v)
+                removed.discard(u.v)
+                for e in u.edges:
+                    materialize(e.u)
+                    materialize(e.v)
+                    out.append(e)
+            elif isinstance(u, EdgeInsertion):
+                materialize(u.u)
+                materialize(u.v)
+                out.append(u)
+            elif isinstance(u, VertexDeletion):
+                if sim is not None and sim.has_node(u.v):
+                    for w in list(sim.out_neighbors(u.v)):
+                        out.append(EdgeDeletion(u.v, w))
+                    if sim.directed:
+                        for w in list(sim.in_neighbors(u.v)):
+                            if w != u.v:  # self-loop already emitted
+                                out.append(EdgeDeletion(w, u.v))
+                out.append(VertexDeletion(u.v))
+                removed.add(u.v)
+                created.discard(u.v)
+            else:
+                out.append(u)
+            if sim is not None:
+                if isinstance(u, VertexDeletion):
+                    if sim.has_node(u.v):
+                        sim.remove_node(u.v)
+                else:
+                    _apply_one(sim, u, strict=False)
+        return Batch(out)
+
+    def __repr__(self) -> str:
+        n_ins = len(self.insertions())
+        n_del = len(self.deletions())
+        return f"Batch(|ΔG|={self.size}, +{n_ins}/-{n_del})"
+
+
+def _apply_one(graph: Graph, update: Update, strict: bool) -> None:
+    if isinstance(update, EdgeInsertion):
+        if graph.has_edge(update.u, update.v):
+            if strict:
+                raise UpdateError(f"cannot insert existing edge ({update.u!r}, {update.v!r})")
+            return
+        graph.add_edge(update.u, update.v, weight=update.weight, label=update.label)
+    elif isinstance(update, EdgeDeletion):
+        if not graph.has_edge(update.u, update.v):
+            if strict:
+                raise UpdateError(f"cannot delete missing edge ({update.u!r}, {update.v!r})")
+            return
+        graph.remove_edge(update.u, update.v)
+    elif isinstance(update, VertexInsertion):
+        if graph.has_node(update.v):
+            if strict:
+                raise UpdateError(f"cannot insert existing node {update.v!r}")
+        else:
+            graph.add_node(update.v, label=update.label)
+        for e in update.edges:
+            _apply_one(graph, e, strict)
+    elif isinstance(update, VertexDeletion):
+        if not graph.has_node(update.v):
+            if strict:
+                raise UpdateError(f"cannot delete missing node {update.v!r}")
+            return
+        graph.remove_node(update.v)
+    else:  # pragma: no cover - defensive
+        raise UpdateError(f"unknown update type {type(update).__name__}")
+
+
+def apply_updates(graph: Graph, delta: Union[Batch, Sequence[Update]], strict: bool = True) -> Graph:
+    """Apply ``ΔG`` to ``graph`` in place and return it (``G ⊕ ΔG``).
+
+    With ``strict=True`` (the default) conflicting updates — inserting an
+    existing edge or deleting a missing one — raise :class:`UpdateError`;
+    with ``strict=False`` they are skipped, which is convenient when
+    replaying noisy temporal streams.
+    """
+    updates = delta.updates if isinstance(delta, Batch) else list(delta)
+    for u in updates:
+        _apply_one(graph, u, strict)
+    return graph
+
+
+def updated_copy(graph: Graph, delta: Union[Batch, Sequence[Update]], strict: bool = True) -> Graph:
+    """A fresh copy of ``graph`` with ``ΔG`` applied (``G ⊕ ΔG``)."""
+    return apply_updates(graph.copy(), delta, strict=strict)

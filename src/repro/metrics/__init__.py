@@ -1,0 +1,14 @@
+"""Instrumentation: data-access counters, memory estimation, timing."""
+
+from .counters import AccessCounter, NullCounter
+from .memory import deep_size_bytes, state_size_bytes
+from .timers import Stopwatch, time_call
+
+__all__ = [
+    "AccessCounter",
+    "NullCounter",
+    "Stopwatch",
+    "deep_size_bytes",
+    "state_size_bytes",
+    "time_call",
+]

@@ -1,0 +1,116 @@
+"""Data-access instrumentation.
+
+Relative boundedness (Section 2 of the paper) is a statement about *the
+size of the data inspected* by an incremental algorithm — not about wall
+clock.  Pure-Python wall-clock times carry large constant factors, so this
+library measures the bounded quantity directly: every read, write, and
+evaluation of a status variable performed by the fixpoint engine and by
+the initial scope function is counted by an :class:`AccessCounter`.
+
+Counters can also *trace* the set of variables touched, which is how
+:mod:`repro.core.boundedness` checks ``H⁰ ⊆ AFF`` empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+
+class AccessCounter:
+    """Counts status-variable accesses; optionally records which ones.
+
+    Attributes
+    ----------
+    reads / writes / evals:
+        Number of variable reads, variable writes, and update-function
+        invocations.
+    scope_pushes:
+        Number of insertions into the work scope ``H``.
+    traced:
+        When created with ``trace=True``, the set of variable keys touched
+        in any way.
+    """
+
+    __slots__ = ("reads", "writes", "evals", "scope_pushes", "traced", "_trace")
+
+    def __init__(self, trace: bool = False) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.evals = 0
+        self.scope_pushes = 0
+        self._trace = trace
+        self.traced: Optional[Set[Hashable]] = set() if trace else None
+
+    # The four event kinds, kept tiny: they run inside inner loops.
+    def on_read(self, key: Hashable) -> None:
+        self.reads += 1
+        if self._trace:
+            self.traced.add(key)
+
+    def on_write(self, key: Hashable) -> None:
+        self.writes += 1
+        if self._trace:
+            self.traced.add(key)
+
+    def on_eval(self, key: Hashable) -> None:
+        self.evals += 1
+        if self._trace:
+            self.traced.add(key)
+
+    def on_scope_push(self, key: Hashable) -> None:
+        self.scope_pushes += 1
+        if self._trace:
+            self.traced.add(key)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Total data items inspected — the paper's cost measure."""
+        return self.reads + self.writes + self.evals + self.scope_pushes
+
+    def reset(self) -> None:
+        self.reads = self.writes = self.evals = self.scope_pushes = 0
+        if self._trace:
+            self.traced = set()
+
+    def merge(self, other: "AccessCounter") -> None:
+        """Accumulate another counter into this one."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.evals += other.evals
+        self.scope_pushes += other.scope_pushes
+        if self._trace and other.traced is not None:
+            self.traced.update(other.traced)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "evals": self.evals,
+            "scope_pushes": self.scope_pushes,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessCounter(reads={self.reads}, writes={self.writes}, "
+            f"evals={self.evals}, scope_pushes={self.scope_pushes})"
+        )
+
+
+class NullCounter(AccessCounter):
+    """A counter that ignores every event — zero-overhead-ish default."""
+
+    __slots__ = ()
+
+    def on_read(self, key: Hashable) -> None:  # noqa: D102
+        pass
+
+    def on_write(self, key: Hashable) -> None:  # noqa: D102
+        pass
+
+    def on_eval(self, key: Hashable) -> None:  # noqa: D102
+        pass
+
+    def on_scope_push(self, key: Hashable) -> None:  # noqa: D102
+        pass

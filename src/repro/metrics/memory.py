@@ -1,0 +1,53 @@
+"""Memory-footprint estimation (Exp-4 of the paper).
+
+The paper's Figure 8 compares the memory usage of the deduced
+incremental algorithms with their batch counterparts and the fine-tuned
+dynamic baselines.  Python has no ``sizeof`` on object graphs, so
+:func:`deep_size_bytes` walks containers with ``sys.getsizeof``,
+deduplicating shared objects by id — good enough to reproduce *relative*
+space costs (deducible ≈ batch; weakly deducible ≈ batch + timestamps;
+some baselines trade space for time).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Set
+
+
+def deep_size_bytes(obj: Any, _seen: Set[int] = None) -> int:
+    """Recursive ``sys.getsizeof`` over containers, deduplicated by id.
+
+    Follows dicts, lists, tuples, sets, and objects with ``__dict__`` or
+    ``__slots__``.  Interned immutables are still counted once each, which
+    slightly overestimates but does so uniformly across algorithms.
+    """
+    if _seen is None:
+        _seen = set()
+    oid = id(obj)
+    if oid in _seen:
+        return 0
+    _seen.add(oid)
+
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_size_bytes(key, _seen)
+            size += deep_size_bytes(value, _seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_size_bytes(item, _seen)
+    else:
+        attrs = getattr(obj, "__dict__", None)
+        if attrs is not None:
+            size += deep_size_bytes(attrs, _seen)
+        slots = getattr(type(obj), "__slots__", ())
+        for slot in slots:
+            if hasattr(obj, slot):
+                size += deep_size_bytes(getattr(obj, slot), _seen)
+    return size
+
+
+def state_size_bytes(state: Any) -> int:
+    """Footprint of a fixpoint state (values + timestamps)."""
+    return deep_size_bytes(state)

@@ -1,0 +1,34 @@
+"""Wall-clock helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+
+class Stopwatch:
+    """A context-manager stopwatch.
+
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,12 @@
+"""Fragment-parallel evaluation (mini-GRAPE): partitioning + PIE runner."""
+
+from .grape import GrapeRunner, GrapeStats
+from .partition import Partitioning, build_partitioning, hash_partition
+
+__all__ = [
+    "GrapeRunner",
+    "GrapeStats",
+    "Partitioning",
+    "build_partitioning",
+    "hash_partition",
+]

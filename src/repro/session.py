@@ -1,0 +1,193 @@
+"""Continuous-query sessions over one dynamic graph.
+
+The paper's motivating deployments ("we often need to repeatedly run
+queries of e.g. SSSP, graph simulation, ... when graphs are updated")
+keep *many* standing queries in sync with one evolving graph.
+:class:`DynamicGraphSession` packages that workflow:
+
+* register any number of queries (each = an algorithm pair + a query
+  object) against a shared graph;
+* push update batches once — every registered query is maintained
+  incrementally and its ``ΔO`` is delivered to subscribed listeners;
+* read any query's current answer at any time.
+
+Example
+-------
+>>> from repro import Graph
+>>> from repro.session import DynamicGraphSession
+>>> g = Graph(directed=True)
+>>> g.add_edge(0, 1, weight=2.0)
+>>> session = DynamicGraphSession(g)
+>>> _ = session.register("routes", "SSSP", query=0)
+>>> session.answer("routes")[1]
+2.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from .algorithms import (
+    CCfp,
+    CorenessFp,
+    DFSfp,
+    Dijkstra,
+    IncCC,
+    IncCoreness,
+    IncDFS,
+    IncLCC,
+    IncReach,
+    IncSSSP,
+    IncSSWP,
+    IncSim,
+    LCCfp,
+    Reachability,
+    Simfp,
+    WidestPath,
+)
+from .core.incremental import IncrementalResult
+from .core.state import FixpointState
+from .errors import ReproError
+from .graph.graph import Graph
+from .graph.updates import Batch, Update
+
+# Built-in algorithm pairs, addressable by name.
+ALGORITHM_PAIRS: Dict[str, Tuple[Callable[[], Any], Callable[[], Any]]] = {
+    "SSSP": (Dijkstra, IncSSSP),
+    "CC": (CCfp, IncCC),
+    "Sim": (Simfp, IncSim),
+    "DFS": (DFSfp, IncDFS),
+    "LCC": (LCCfp, IncLCC),
+    "SSWP": (WidestPath, IncSSWP),
+    "Reach": (Reachability, IncReach),
+    "Coreness": (CorenessFp, IncCoreness),
+}
+
+Listener = Callable[[str, IncrementalResult], None]
+
+
+@dataclass
+class RegisteredQuery:
+    """One standing query: its algorithms, query object, state, and the
+    graph replica the state is maintained against.
+
+    Incremental algorithms mutate their graph while applying ΔG (some —
+    IncDFS, IncCoreness — must see the pre-update graph), so each query
+    keeps its own replica; the session applies every batch to each
+    replica and to its reference graph, keeping them all identical.
+    """
+
+    name: str
+    batch: Any
+    incremental: Any
+    query: Any
+    state: FixpointState
+    graph: Graph = None
+    listeners: List[Listener] = field(default_factory=list)
+
+
+class DynamicGraphSession:
+    """Keep many registered queries in sync with one evolving graph.
+
+    The session owns the graph: apply updates through :meth:`update`
+    only, so every registered state stays consistent with it.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._queries: Dict[str, RegisteredQuery] = {}
+        self._batches_applied = 0
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        algorithm: str,
+        query: Any = None,
+        listener: Optional[Listener] = None,
+    ) -> RegisteredQuery:
+        """Register a standing query and run its batch algorithm once.
+
+        ``algorithm`` names a built-in pair (see :data:`ALGORITHM_PAIRS`).
+        """
+        if name in self._queries:
+            raise ReproError(f"query {name!r} is already registered")
+        try:
+            batch_factory, inc_factory = ALGORITHM_PAIRS[algorithm]
+        except KeyError:
+            raise ReproError(
+                f"unknown algorithm {algorithm!r}; available: {', '.join(ALGORITHM_PAIRS)}"
+            ) from None
+        batch = batch_factory()
+        replica = self.graph.copy()
+        state = batch.run(replica, query)
+        registered = RegisteredQuery(
+            name=name,
+            batch=batch,
+            incremental=inc_factory(),
+            query=query,
+            state=state,
+            graph=replica,
+        )
+        if listener is not None:
+            registered.listeners.append(listener)
+        self._queries[name] = registered
+        return registered
+
+    def unregister(self, name: str) -> None:
+        if name not in self._queries:
+            raise ReproError(f"query {name!r} is not registered")
+        del self._queries[name]
+
+    def subscribe(self, name: str, listener: Listener) -> None:
+        """Call ``listener(name, result)`` after every update batch."""
+        self._query(name).listeners.append(listener)
+
+    def queries(self) -> List[str]:
+        return list(self._queries)
+
+    def _query(self, name: str) -> RegisteredQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise ReproError(f"query {name!r} is not registered") from None
+
+    # ------------------------------------------------------------------
+    def update(self, delta) -> Dict[str, IncrementalResult]:
+        """Apply ``ΔG`` to the graph and maintain every registered query.
+
+        Returns ``{query name: ΔO result}`` and notifies listeners.
+        Each query maintains its own graph replica, so per-query
+        incremental applications never interfere.
+        """
+        if not isinstance(delta, Batch):
+            delta = Batch(list(delta))
+        results: Dict[str, IncrementalResult] = {}
+        from .graph.updates import apply_updates
+
+        for registered in self._queries.values():
+            results[registered.name] = registered.incremental.apply(
+                registered.graph, registered.state, delta, registered.query
+            )
+        apply_updates(self.graph, delta)
+        self._batches_applied += 1
+        for registered in self._queries.values():
+            for listener in registered.listeners:
+                listener(registered.name, results[registered.name])
+        return results
+
+    def answer(self, name: str) -> Any:
+        """The current ``Q(G)`` of a registered query."""
+        registered = self._query(name)
+        return registered.batch.answer(registered.state, registered.graph, registered.query)
+
+    @property
+    def batches_applied(self) -> int:
+        return self._batches_applied
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraphSession(|V|={self.graph.num_nodes}, "
+            f"queries={list(self._queries)}, batches={self._batches_applied})"
+        )

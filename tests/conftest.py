@@ -1,0 +1,46 @@
+"""Shared fixtures: the paper's running example graph (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph
+
+
+@pytest.fixture
+def paper_graph() -> Graph:
+    """The 8-node directed graph of Figure 2(a), without the dotted edge.
+
+    Edge weights are chosen so that Dijkstra from node 0 produces exactly
+    the distances of Figure 3(a): x = [0, 5, 1, 7, 6, 2, 3, 4] with
+    anchors 0→2→{5,1}, 5→6→7, 1→4→3.
+    """
+    g = Graph(directed=True)
+    for v in range(8):
+        g.add_node(v)
+    edges = {
+        (0, 2): 1.0,  # x2 = 1, anchor {0}
+        (2, 1): 4.0,  # x1 = 5, anchor {2}
+        (2, 5): 1.0,  # x5 = 2, anchor {2}
+        (1, 4): 1.0,  # x4 = 6, anchor {1}
+        (4, 3): 1.0,  # x3 = 7, anchor {4}
+        (5, 6): 1.0,  # x6 = 3, anchor {5}
+        (6, 7): 1.0,  # x7 = 4, anchor {6}
+        (2, 7): 4.0,  # alternative path to 7 (used after the update)
+        (4, 6): 4.0,  # alternative path to 6 (used after the update)
+        (3, 1): 1.0,  # makes x1 drop to 4 after the update, as in Fig. 3(a)
+    }
+    for (u, v), w in edges.items():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+@pytest.fixture
+def paper_pattern() -> Graph:
+    """A pattern in the spirit of Figure 2(b): a 2-cycle of labels b→c."""
+    q = Graph(directed=True)
+    q.add_node("u_b", label="b")
+    q.add_node("u_c", label="c")
+    q.add_edge("u_b", "u_c")
+    q.add_edge("u_c", "u_b")
+    return q

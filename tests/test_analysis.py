@@ -1,0 +1,90 @@
+"""Tests for graph statistics and analysis helpers."""
+
+from repro.generators import barabasi_albert, erdos_renyi, grid_2d
+from repro.graph import from_edges
+from repro.graph.analysis import (
+    component_sizes,
+    degree_histogram,
+    degree_skewness,
+    estimate_diameter,
+    graph_stats,
+)
+
+
+class TestDegreeHistogram:
+    def test_counts(self):
+        g = from_edges([(0, 1), (0, 2), (0, 3)])
+        hist = degree_histogram(g)
+        assert hist == {3: 1, 1: 3}
+
+    def test_directed_uses_total_degree(self):
+        g = from_edges([(0, 1), (1, 0)], directed=True)
+        assert degree_histogram(g) == {2: 2}
+
+
+class TestComponents:
+    def test_sizes_sorted_descending(self):
+        g = from_edges([(0, 1), (1, 2), (5, 6)])
+        g.add_node(9)
+        assert component_sizes(g) == [3, 2, 1]
+
+    def test_weak_connectivity_for_directed(self):
+        g = from_edges([(0, 1), (2, 1)], directed=True)
+        assert component_sizes(g) == [3]
+
+
+class TestSkewness:
+    def test_power_law_is_right_skewed(self):
+        ba = barabasi_albert(400, 3, seed=1)
+        assert degree_skewness(ba) > 1.0
+
+    def test_lattice_is_not_right_skewed(self):
+        # Boundary nodes skew a lattice slightly *left*; the point is the
+        # contrast with the heavy right tail of a power-law proxy.
+        grid = grid_2d(12, 12, seed=1)
+        assert degree_skewness(grid) < 0.5
+        assert degree_skewness(barabasi_albert(400, 3, seed=1)) > degree_skewness(grid)
+
+    def test_degenerate_cases(self):
+        g = from_edges([(0, 1)])
+        assert degree_skewness(g) is None  # constant degrees
+        tiny = from_edges([])
+        tiny.add_node(0)
+        assert degree_skewness(tiny) is None
+
+
+class TestGraphStats:
+    def test_summary_fields(self):
+        g = from_edges([(0, 1), (1, 2), (5, 6)])
+        stats = graph_stats(g)
+        assert stats.num_nodes == 5
+        assert stats.num_edges == 3
+        assert stats.num_components == 2
+        assert stats.largest_component == 3
+        assert stats.max_degree == 2
+        assert stats.as_dict()["components"] == 2
+
+    def test_labels_counted(self):
+        g = from_edges([(0, 1)])
+        g.set_node_label(0, "a")
+        assert graph_stats(g).num_labels == 1
+
+    def test_empty_graph(self):
+        g = from_edges([])
+        stats = graph_stats(g)
+        assert stats.num_nodes == 0
+        assert stats.mean_degree == 0.0
+
+
+class TestDiameter:
+    def test_path_graph_diameter(self):
+        g = from_edges([(i, i + 1) for i in range(10)])
+        assert estimate_diameter(g, samples=4) == 10
+
+    def test_lower_bound_property(self):
+        g = erdos_renyi(40, 100, seed=3)
+        estimate = estimate_diameter(g, samples=4)
+        assert estimate >= 1
+
+    def test_empty(self):
+        assert estimate_diameter(from_edges([])) == 0

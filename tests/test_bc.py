@@ -1,0 +1,146 @@
+"""Tests for biconnectivity (articulation points, bridges)."""
+
+import random
+
+import pytest
+
+from oracles import random_edge_batch, random_graph
+from repro.algorithms.bc import BCfp, IncBC, biconnectivity
+from repro.errors import IncrementalizationError
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, from_edges
+
+
+def oracle_bc(graph):
+    """Brute force: v is an articulation point iff removing it increases
+    the component count; (u, v) is a bridge iff removing it does."""
+
+    def components(g):
+        seen, count = set(), 0
+        for v in g.nodes():
+            if v in seen:
+                continue
+            count += 1
+            stack = [v]
+            seen.add(v)
+            while stack:
+                x = stack.pop()
+                for w in g.neighbors(x):
+                    if w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+        return count
+
+    base = components(graph)
+    articulation = set()
+    for v in graph.nodes():
+        h = graph.copy()
+        h.remove_node(v)
+        if components(h) > base - (1 if all(w == v for w in graph.neighbors(v)) or graph.degree(v) == 0 else 0) and components(h) > base:
+            articulation.add(v)
+    bridges = set()
+    for u, v in graph.edges():
+        if u == v:
+            continue
+        h = graph.copy()
+        h.remove_edge(u, v)
+        if components(h) > base:
+            bridges.add((min(u, v), max(u, v)))
+    return articulation, bridges
+
+
+class TestBatch:
+    def test_triangle_with_tail(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        result = biconnectivity(g)
+        assert result.articulation_points == {2}
+        assert result.bridges == {(2, 3)}
+        assert result.num_biconnected_components() == 2
+
+    def test_path_is_all_bridges(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        result = biconnectivity(g)
+        assert result.bridges == {(0, 1), (1, 2), (2, 3)}
+        assert result.articulation_points == {1, 2}
+
+    def test_cycle_has_none(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        result = biconnectivity(g)
+        assert result.bridges == set()
+        assert result.articulation_points == set()
+        assert result.num_biconnected_components() == 1
+
+    def test_two_triangles_sharing_a_node(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        result = biconnectivity(g)
+        assert result.articulation_points == {2}
+        assert result.num_biconnected_components() == 2
+
+    def test_directed_rejected(self):
+        with pytest.raises(IncrementalizationError):
+            biconnectivity(from_edges([(0, 1)], directed=True))
+
+    def test_self_loops_ignored(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        g.add_edge(1, 1)
+        result = biconnectivity(g)
+        assert result.articulation_points == set()
+
+    def test_matches_oracle_on_random_graphs(self):
+        rng = random.Random(211)
+        for trial in range(25):
+            g = random_graph(rng, rng.randint(2, 18), rng.randint(0, 35), directed=False)
+            result = biconnectivity(g)
+            articulation, bridges = oracle_bc(g)
+            assert result.articulation_points == articulation, f"trial {trial}"
+            assert result.bridges == bridges, f"trial {trial}"
+
+    def test_is_bridge_accessor(self):
+        g = from_edges([(0, 1)])
+        assert biconnectivity(g).is_bridge(1, 0)
+
+
+class TestIncremental:
+    def test_insertion_kills_bridge(self):
+        g = from_edges([(0, 1), (1, 2)])
+        state = BCfp().run(g)
+        IncBC().apply(g, state, Batch([EdgeInsertion(0, 2)]))
+        assert state.bridges == set()
+        assert state.articulation_points == set()
+
+    def test_deletion_creates_bridges(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        state = BCfp().run(g)
+        IncBC().apply(g, state, Batch([EdgeDeletion(0, 2)]))
+        assert state.bridges == {(0, 1), (1, 2)}
+
+    def test_untouched_components_kept_verbatim(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2), (10, 11), (11, 12)])
+        state = BCfp().run(g)
+        before_far = {e: c for e, c in state.edge_component.items() if e[0] >= 10}
+        IncBC().apply(g, state, Batch([EdgeDeletion(0, 2)]))
+        after_far = {e: c for e, c in state.edge_component.items() if e[0] >= 10}
+        assert before_far == after_far
+
+    def test_random_sequences_match_batch(self):
+        rng = random.Random(223)
+        for trial in range(25):
+            g = random_graph(rng, rng.randint(3, 20), rng.randint(2, 40), directed=False)
+            state = BCfp().run(g.copy())
+            inc = IncBC()
+            work = g.copy()
+            for _step in range(4):
+                delta = random_edge_batch(rng, work, rng.randint(1, 4))
+                inc.apply(work, state, delta)
+                want = BCfp().run(work)
+                assert state.articulation_points == want.articulation_points, f"trial {trial}"
+                assert state.bridges == want.bridges, f"trial {trial}"
+                # Edge components agree up to id renaming.
+                grouping = {}
+                for e, c in state.edge_component.items():
+                    grouping.setdefault(c, set()).add(e)
+                want_grouping = {}
+                for e, c in want.edge_component.items():
+                    want_grouping.setdefault(c, set()).add(e)
+                assert sorted(map(sorted, grouping.values())) == sorted(
+                    map(sorted, want_grouping.values())
+                ), f"trial {trial}"

@@ -1,0 +1,99 @@
+"""Smoke tests for the experiment harness (tiny scales, shape checks)."""
+
+import pytest
+
+from repro.bench import (
+    ALL_SETUPS,
+    ablation_scope,
+    exp1_aff,
+    exp1_unit_updates,
+    exp2_temporal,
+    exp2_vary_delta,
+    exp3_scalability,
+    exp4_memory,
+    format_table,
+    table1,
+    undirected_view,
+)
+from repro.bench.tables import ExperimentResult
+from repro.graph import from_edges
+
+TINY = 0.06
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xxx", 0.0001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(line.startswith("|") for line in lines[1:])
+        assert "0.0001" in text
+
+    def test_experiment_result_format(self):
+        result = ExperimentResult(title="X", headers=["h"], rows=[[1]], notes=["n"])
+        out = result.format()
+        assert "== X ==" in out and "note: n" in out
+
+
+class TestHelpers:
+    def test_undirected_view(self):
+        g = from_edges([(0, 1), (1, 0), (1, 2)], directed=True)
+        u = undirected_view(g)
+        assert not u.directed
+        assert u.num_edges == 2
+
+    def test_all_setups_cover_five_classes(self):
+        assert set(ALL_SETUPS) == {"SSSP", "CC", "Sim", "DFS", "LCC"}
+        for setup in ALL_SETUPS.values():
+            assert callable(setup.batch_factory)
+
+
+@pytest.mark.slow
+class TestExperimentsSmoke:
+    """Each experiment runs at miniature scale and yields plausible rows."""
+
+    def test_table1(self):
+        result = table1(scale=TINY)
+        assert [row[0] for row in result.rows] == ["SSSP", "Sim", "LCC"]
+        assert all(row[1] > 0 for row in result.rows)
+
+    def test_exp1_unit_updates(self):
+        result = exp1_unit_updates("SSSP", scale=TINY, n_updates=4, datasets=("LJ", "DP"))
+        assert len(result.rows) == 2
+        assert all(len(row) == 5 for row in result.rows)
+
+    def test_exp1_aff_reports_boundedness(self):
+        result = exp1_aff(scale=TINY, samples=2)
+        assert {row[0] for row in result.rows} == {"IncSSSP", "IncCC", "IncSim", "IncLCC"}
+        assert all(row[3] == "yes" for row in result.rows)
+
+    def test_exp2_vary_delta(self):
+        result = exp2_vary_delta("CC", "OKT", (0.02, 0.08), scale=TINY)
+        assert [row[0] for row in result.rows] == [2.0, 8.0]
+
+    def test_exp2_temporal(self):
+        result = exp2_temporal(scale=TINY, months=2)
+        assert [row[0] for row in result.rows] == ["SSSP", "CC", "Sim"]
+        assert all(0.0 <= row[5] <= 100.0 for row in result.rows)
+
+    def test_exp3_scalability_rows_grow(self):
+        result = exp3_scalability("SSSP", node_counts=(60, 120))
+        assert result.rows[1][0] > result.rows[0][0]
+
+    def test_exp4_memory(self):
+        result = exp4_memory(scale=TINY)
+        assert len(result.rows) == 5
+        assert all(row[1] > 0 for row in result.rows)
+
+    def test_ablation_scope_shows_flooding(self):
+        result = ablation_scope(scale=TINY, samples=2)
+        assert all(row[3] >= 1.0 for row in result.rows)
+
+    def test_main_entry_point(self, capsys):
+        from repro.bench.__main__ import main
+
+        # Running everything at tiny scale should complete and print tables.
+        assert main(["--scale", str(TINY)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 8" in out

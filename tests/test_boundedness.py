@@ -1,0 +1,92 @@
+"""Tests for AFF computation and relative-boundedness verification."""
+
+import random
+
+import pytest
+
+from oracles import random_edge_batch, random_graph
+from repro.algorithms.cc import CCSpec
+from repro.algorithms.lcc import LCCSpec
+from repro.algorithms.sim import SimSpec
+from repro.algorithms.sssp import SSSPSpec
+from repro.core import compute_aff, verify_relative_boundedness
+from repro.generators import random_pattern
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, from_edges
+
+
+class TestComputeAff:
+    def test_sssp_insertion_aff_contains_improved_nodes(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[2.0, 2.0])
+        delta = Batch([EdgeInsertion(0, 2, weight=1.0)])
+        aff = compute_aff(SSSPSpec(), g, delta, 0)
+        assert 2 in aff  # value changes
+        assert 1 not in aff  # untouched
+
+    def test_sssp_deletion_aff_contains_unreachable_chain(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[1.0, 1.0])
+        delta = Batch([EdgeDeletion(0, 1)])
+        aff = compute_aff(SSSPSpec(), g, delta, 0)
+        assert {1, 2} <= aff
+
+    def test_aff_includes_changed_input_keys_even_without_value_change(self):
+        # Inserting a longer parallel path changes node 2's input set but
+        # not its distance.
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[1.0, 1.0])
+        delta = Batch([EdgeInsertion(0, 2, weight=100.0)])
+        aff = compute_aff(SSSPSpec(), g, delta, 0)
+        assert 2 in aff
+
+    def test_cc_aff_for_component_split(self):
+        g = from_edges([(0, 1), (1, 2)])
+        aff = compute_aff(CCSpec(), g, Batch([EdgeDeletion(0, 1)]), None)
+        assert {0, 1, 2} == aff
+
+
+class TestVerification:
+    paper_percentage_note = "Exp-1(c) checks H⁰ ⊆ AFF on unit updates"
+
+    @pytest.mark.parametrize("spec_factory", [SSSPSpec, CCSpec, LCCSpec])
+    def test_h_scope_bounded_on_random_unit_updates(self, spec_factory):
+        rng = random.Random(99)
+        spec = spec_factory()
+        directed = isinstance(spec, SSSPSpec)
+        for trial in range(15):
+            g = random_graph(rng, rng.randint(4, 16), rng.randint(4, 30), directed, weighted=True)
+            delta = random_edge_batch(rng, g, 1, weighted=True)
+            query = 0 if directed else None
+            report = verify_relative_boundedness(spec, g, delta, query)
+            assert report.scope_bounded, f"{spec.name} trial {trial}: H⁰ ⊄ AFF"
+
+    def test_sim_h_scope_bounded(self):
+        rng = random.Random(7)
+        spec = SimSpec()
+        for trial in range(10):
+            g = random_graph(rng, 10, 25, directed=True, labels=["a", "b", "c"])
+            pattern = random_pattern(g, num_nodes=3, num_edges=3, seed=trial)
+            delta = random_edge_batch(rng, g, 1)
+            report = verify_relative_boundedness(spec, g, delta, pattern)
+            assert report.scope_bounded, f"Sim trial {trial}"
+
+    def test_report_fields(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[1.0, 1.0])
+        report = verify_relative_boundedness(SSSPSpec(), g, Batch([EdgeDeletion(0, 1)]), 0)
+        assert report.aff_size >= report.scope_size > 0
+        assert report.accesses > 0
+        assert report.total_variables == 3
+        assert 0.0 < report.aff_share <= 1.0
+        assert "AFF" in repr(report)
+
+    def test_original_graph_untouched(self):
+        g = from_edges([(0, 1)], directed=True)
+        before = g.copy()
+        verify_relative_boundedness(SSSPSpec(), g, Batch([EdgeDeletion(0, 1)]), 0)
+        assert g == before
+
+    def test_aff_share_small_for_local_update(self):
+        # A long chain: deleting the last edge affects only its head.
+        edges = [(i, i + 1) for i in range(30)]
+        g = from_edges(edges, directed=True)
+        report = verify_relative_boundedness(
+            SSSPSpec(), g, Batch([EdgeDeletion(29, 30)]), 0
+        )
+        assert report.aff_share < 0.2

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, read_updates
+from repro.errors import ReproError
+from repro.graph import EdgeDeletion, EdgeInsertion, VertexDeletion, VertexInsertion
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1 2.0\n1 2 1.0\n0 2 9.0\n")
+    return str(path)
+
+
+@pytest.fixture
+def updates_file(tmp_path):
+    path = tmp_path / "ups.txt"
+    path.write_text("# maintenance\n- 0 2\n+ 2 3 1.5\n+v 9\n-v 9\n")
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestStats:
+    def test_stats_json(self, capsys, graph_file):
+        code, out, _err = run_cli(capsys, "stats", graph_file)
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["nodes"] == 3 and doc["edges"] == 3
+
+    def test_dataset_reference(self, capsys):
+        code, out, _err = run_cli(capsys, "stats", "@LJ")
+        assert code == 0
+        assert json.loads(out)["nodes"] > 100
+
+
+class TestRun:
+    def test_sssp(self, capsys, graph_file):
+        code, out, _err = run_cli(capsys, "run", "sssp", graph_file, "--directed", "--source", "0")
+        assert code == 0
+        assert json.loads(out) == {"0": 0.0, "1": 2.0, "2": 3.0}
+
+    def test_cc_ignores_directed_flag(self, capsys, graph_file):
+        code, out, _err = run_cli(capsys, "run", "cc", graph_file, "--directed")
+        assert code == 0
+        assert set(json.loads(out).values()) == {0}
+
+    def test_dfs_output_structure(self, capsys, graph_file):
+        code, out, _err = run_cli(capsys, "run", "dfs", graph_file, "--directed")
+        assert code == 0
+        doc = json.loads(out)
+        assert set(doc) == {"first", "last", "parent"}
+
+    def test_missing_source_errors(self, capsys, graph_file):
+        code, _out, err = run_cli(capsys, "run", "sssp", graph_file)
+        assert code == 2
+        assert "requires --source" in err
+
+    def test_unknown_algorithm_errors(self, capsys, graph_file):
+        code, _out, err = run_cli(capsys, "run", "pagerank", graph_file)
+        assert code == 2
+        assert "unknown algorithm" in err
+
+    def test_sim_requires_pattern(self, capsys, graph_file):
+        code, _out, err = run_cli(capsys, "run", "sim", graph_file, "--directed")
+        assert code == 2
+        assert "--pattern" in err
+
+    def test_sim_with_pattern(self, capsys, tmp_path):
+        graph = tmp_path / "g.txt"
+        graph.write_text("0 a 1 b\n")
+        pattern = tmp_path / "q.txt"
+        pattern.write_text("x a y b\n")
+        code, out, _err = run_cli(
+            capsys, "run", "sim", str(graph), "--directed", "--labeled",
+            "--pattern", str(pattern),
+        )
+        assert code == 0
+        assert sorted(json.loads(out)) == [[0, "x"], [1, "y"]]
+
+
+class TestInc:
+    def test_incremental_maintenance(self, capsys, graph_file, updates_file):
+        code, out, _err = run_cli(
+            capsys, "inc", "sssp", graph_file, updates_file, "--directed", "--source", "0"
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["updates"] == 4
+        assert doc["answer"]["3"] == 4.5
+
+
+class TestUpdateParsing:
+    def test_all_four_forms(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("+ 1 2 3.5\n- 2 3\n+v 9 robot\n-v 9\n")
+        batch = read_updates(str(path))
+        assert batch.updates == [
+            EdgeInsertion(1, 2, weight=3.5),
+            EdgeDeletion(2, 3),
+            VertexInsertion(9, label="robot"),
+            VertexDeletion(9),
+        ]
+
+    def test_default_weight(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("+ 1 2\n")
+        assert read_updates(str(path))[0].weight == 1.0
+
+    def test_string_node_ids(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("+ alice bob\n")
+        assert read_updates(str(path))[0] == EdgeInsertion("alice", "bob", weight=1.0)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("? 1 2\n")
+        with pytest.raises(ReproError):
+            read_updates(str(path))
+
+
+class TestDatasets:
+    def test_lists_all_six(self, capsys):
+        code, out, _err = run_cli(capsys, "datasets")
+        assert code == 0
+        rows = json.loads(out)
+        assert [r["name"] for r in rows] == ["LJ", "DP", "OKT", "TW", "FS", "WD"]

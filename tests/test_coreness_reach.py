@@ -1,0 +1,185 @@
+"""Tests for the coreness and reachability extensions of Φ."""
+
+import random
+
+from oracles import random_edge_batch, random_graph
+from repro import (
+    CorenessFp,
+    IncCoreness,
+    IncReach,
+    Reachability,
+    coreness,
+    reach,
+)
+from repro.algorithms.coreness import h_index
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, from_edges
+
+
+def oracle_coreness(graph):
+    """Classic peeling."""
+    degree = {v: sum(1 for w in graph.neighbors(v) if w != v) for v in graph.nodes()}
+    core = {}
+    remaining = set(graph.nodes())
+    k = 0
+    while remaining:
+        v = min(remaining, key=lambda x: degree[x])
+        k = max(k, degree[v])
+        core[v] = k
+        remaining.discard(v)
+        for w in graph.neighbors(v):
+            if w in remaining and w != v:
+                degree[w] -= 1
+    return core
+
+
+def oracle_reach(graph, source):
+    seen = {source} if graph.has_node(source) else set()
+    stack = list(seen)
+    while stack:
+        v = stack.pop()
+        for u in graph.out_neighbors(v):
+            if u not in seen:
+                seen.add(u)
+                stack.append(u)
+    return {v: v in seen for v in graph.nodes()}
+
+
+class TestHIndex:
+    def test_known_values(self):
+        assert h_index([]) == 0
+        assert h_index([1, 1, 1]) == 1
+        assert h_index([3, 3, 3]) == 3
+        assert h_index([5, 4, 3, 2, 1]) == 3
+        assert h_index([0, 0]) == 0
+
+
+class TestCorenessBatch:
+    def test_triangle_with_tail(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert coreness(g) == {0: 2, 1: 2, 2: 2, 3: 1}
+
+    def test_clique(self):
+        g = from_edges([(a, b) for a in range(5) for b in range(a + 1, 5)])
+        assert set(coreness(g).values()) == {4}
+
+    def test_isolated_nodes(self):
+        g = from_edges([])
+        g.add_node(1)
+        assert coreness(g) == {1: 0}
+
+    def test_matches_peeling_on_random_graphs(self):
+        rng = random.Random(101)
+        for _ in range(30):
+            g = random_graph(rng, rng.randint(2, 25), rng.randint(0, 60), directed=False)
+            assert coreness(g) == oracle_coreness(g)
+
+
+class TestIncCoreness:
+    def test_insertion_lifts_subcore(self):
+        # A 4-cycle has coreness 2; closing a chord keeps 2; but adding a
+        # node pattern: path 0-1-2 (core 1) + edge (0,2) → triangle core 2.
+        g = from_edges([(0, 1), (1, 2)])
+        batch, inc = CorenessFp(), IncCoreness()
+        state = batch.run(g)
+        result = inc.apply(g, state, Batch([EdgeInsertion(0, 2)]))
+        assert dict(state.values) == {0: 2, 1: 2, 2: 2}
+        assert set(result.changes) == {0, 1, 2}
+
+    def test_deletion_lowers(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        batch, inc = CorenessFp(), IncCoreness()
+        state = batch.run(g)
+        inc.apply(g, state, Batch([EdgeDeletion(0, 2)]))
+        assert dict(state.values) == oracle_coreness(g)
+
+    def test_vertex_updates(self):
+        from repro.graph import VertexDeletion, VertexInsertion
+
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        batch, inc = CorenessFp(), IncCoreness()
+        state = batch.run(g)
+        inc.apply(g, state, Batch([VertexInsertion(9, edges=(EdgeInsertion(0, 9),))]))
+        assert dict(state.values) == oracle_coreness(g)
+        inc.apply(g, state, Batch([VertexDeletion(0)]))
+        assert dict(state.values) == oracle_coreness(g)
+
+    def test_mixed_batches_match_peeling(self):
+        rng = random.Random(103)
+        for trial in range(30):
+            g = random_graph(rng, rng.randint(3, 20), rng.randint(2, 45), directed=False)
+            batch, inc = CorenessFp(), IncCoreness()
+            state = batch.run(g.copy())
+            work = g.copy()
+            for _step in range(5):
+                delta = random_edge_batch(rng, work, rng.randint(1, 5))
+                inc.apply(work, state, delta)
+                assert dict(state.values) == oracle_coreness(work), f"trial {trial}"
+
+    def test_lift_region_excludes_higher_cores(self):
+        # Inserting an edge at coreness level K = 1 traverses only the
+        # 1-subcore; an attached 4-clique (coreness 3) stays untouched.
+        chain = [(i, i + 1) for i in range(20, 30)]
+        clique = [(a, b) for a in range(30, 34) for b in range(a + 1, 34)]
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 20), (2, 30)] + chain + clique)
+        batch, inc = CorenessFp(), IncCoreness()
+        state = batch.run(g)
+        result = inc.apply(g, state, Batch([EdgeInsertion(0, 20)]), measure=True)
+        assert dict(state.values) == oracle_coreness(g)
+        assert not any(30 <= z < 34 for z in result.scope)
+
+
+class TestReach:
+    def test_batch(self):
+        g = from_edges([(0, 1), (1, 2), (3, 4)], directed=True)
+        assert reach(g, 0) == {0: True, 1: True, 2: True, 3: False, 4: False}
+
+    def test_undirected_floods_both_ways(self):
+        g = from_edges([(0, 1), (1, 2)])
+        assert all(reach(g, 2).values())
+
+    def test_insertion_floods_new_region(self):
+        g = from_edges([(0, 1), (2, 3)], directed=True)
+        batch, inc = Reachability(), IncReach()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, Batch([EdgeInsertion(1, 2)]), 0)
+        assert state.values == {0: True, 1: True, 2: True, 3: True}
+        assert set(result.changes) == {2, 3}
+
+    def test_deletion_strands_region(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)], directed=True)
+        batch, inc = Reachability(), IncReach()
+        state = batch.run(g, 0)
+        inc.apply(g, state, Batch([EdgeDeletion(1, 2)]), 0)
+        assert state.values == {0: True, 1: True, 2: False, 3: False}
+
+    def test_deletion_with_alternative_path(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True)
+        batch, inc = Reachability(), IncReach()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, Batch([EdgeDeletion(1, 2)]), 0)
+        assert state.values[2] is True
+        assert result.changes == {}
+
+    def test_mixed_batches_match_oracle(self):
+        rng = random.Random(107)
+        for trial in range(30):
+            directed = rng.random() < 0.5
+            g = random_graph(rng, rng.randint(3, 22), rng.randint(2, 45), directed)
+            batch, inc = Reachability(), IncReach()
+            state = batch.run(g.copy(), 0)
+            work = g.copy()
+            for _step in range(5):
+                delta = random_edge_batch(rng, work, rng.randint(1, 5))
+                inc.apply(work, state, delta, 0)
+                assert dict(state.values) == oracle_reach(work, 0), f"trial {trial}"
+
+    def test_boundedness(self):
+        from repro.algorithms.reach import ReachSpec
+        from repro.core import verify_relative_boundedness
+
+        rng = random.Random(109)
+        for trial in range(12):
+            g = random_graph(rng, rng.randint(4, 16), rng.randint(3, 30), True)
+            delta = random_edge_batch(rng, g, 2)
+            report = verify_relative_boundedness(ReachSpec(), g, delta, 0)
+            assert report.scope_bounded, f"trial {trial}"

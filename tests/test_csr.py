@@ -1,0 +1,100 @@
+"""Unit tests for the CSR snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph import CSRGraph, Graph, from_edges
+
+
+class TestConstruction:
+    def test_directed_adjacency(self):
+        g = from_edges([(0, 1), (0, 2), (2, 1)], directed=True)
+        csr = CSRGraph.from_graph(g)
+        i0 = csr.index_of[0]
+        out = {csr.node_of[j] for j in csr.out_neighbors(i0)}
+        assert out == {1, 2}
+        i1 = csr.index_of[1]
+        incoming = {csr.node_of[j] for j in csr.in_neighbors(i1)}
+        assert incoming == {0, 2}
+
+    def test_undirected_shares_arrays(self):
+        g = from_edges([(0, 1), (1, 2)])
+        csr = CSRGraph.from_graph(g)
+        assert csr.indptr is csr.rindptr
+        i1 = csr.index_of[1]
+        assert {csr.node_of[j] for j in csr.out_neighbors(i1)} == {0, 2}
+
+    def test_counts(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)], directed=True)
+        csr = CSRGraph.from_graph(g)
+        assert csr.num_nodes == 3
+        assert csr.num_edges == 3
+
+    def test_undirected_edge_count(self):
+        g = from_edges([(0, 1), (1, 2)])
+        csr = CSRGraph.from_graph(g)
+        assert csr.num_edges == 2
+
+    def test_weights_align_with_neighbors(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", weight=2.0)
+        g.add_edge("a", "c", weight=3.0)
+        csr = CSRGraph.from_graph(g)
+        ia = csr.index_of["a"]
+        pairs = {
+            csr.node_of[j]: w
+            for j, w in zip(csr.out_neighbors(ia), csr.out_weights(ia))
+        }
+        assert pairs == {"b": 2.0, "c": 3.0}
+
+    def test_in_weights(self):
+        g = from_edges([(0, 2), (1, 2)], directed=True, weights=[5.0, 7.0])
+        csr = CSRGraph.from_graph(g)
+        i2 = csr.index_of[2]
+        pairs = {
+            csr.node_of[j]: w for j, w in zip(csr.in_neighbors(i2), csr.in_weights(i2))
+        }
+        assert pairs == {0: 5.0, 1: 7.0}
+
+
+class TestAccess:
+    def test_out_degree(self):
+        g = from_edges([(0, 1), (0, 2)], directed=True)
+        csr = CSRGraph.from_graph(g)
+        assert csr.out_degree(csr.index_of[0]) == 2
+        assert csr.out_degree(csr.index_of[1]) == 0
+
+    def test_out_of_range_raises(self):
+        csr = CSRGraph.from_graph(from_edges([(0, 1)]))
+        with pytest.raises(NodeNotFoundError):
+            csr.out_neighbors(99)
+        with pytest.raises(NodeNotFoundError):
+            csr.out_degree(-1)
+
+    def test_edges_iteration_matches_graph(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)], directed=True)
+        csr = CSRGraph.from_graph(g)
+        triples = {
+            (csr.node_of[i], csr.node_of[j]) for i, j, _w in csr.edges()
+        }
+        assert triples == set(g.edges())
+
+    def test_nbytes_positive_and_directed_larger(self):
+        gu = from_edges([(0, 1), (1, 2)])
+        gd = from_edges([(0, 1), (1, 2)], directed=True)
+        assert CSRGraph.from_graph(gd).nbytes() > CSRGraph.from_graph(gu).nbytes() > 0
+
+    def test_repr(self):
+        csr = CSRGraph.from_graph(from_edges([(0, 1)]))
+        assert "CSRGraph" in repr(csr)
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_graph(Graph())
+        assert csr.num_nodes == 0
+        assert csr.num_edges == 0
+
+    def test_arrays_are_int64_float64(self):
+        csr = CSRGraph.from_graph(from_edges([(0, 1)], directed=True))
+        assert csr.indices.dtype == np.int64
+        assert csr.weights.dtype == np.float64

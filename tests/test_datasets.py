@@ -1,0 +1,69 @@
+"""Tests for the proxy dataset registry."""
+
+import pytest
+
+from repro.datasets import available, load, spec
+from repro.errors import DatasetError
+from repro.graph import Graph, TemporalGraph
+
+
+class TestRegistry:
+    def test_all_six_paper_datasets_present(self):
+        assert available() == ["LJ", "DP", "OKT", "TW", "FS", "WD"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            load("nope")
+
+    def test_case_insensitive_lookup(self):
+        assert spec("lj").name == "LJ"
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(DatasetError):
+            load("LJ", scale=0)
+
+
+class TestProxies:
+    @pytest.mark.parametrize("name", ["LJ", "OKT", "FS"])
+    def test_social_proxies_are_undirected_labeled_weighted(self, name):
+        g = load(name, scale=0.1)
+        assert isinstance(g, Graph)
+        assert not g.directed
+        v = next(iter(g.nodes()))
+        assert g.node_label(v) is not None
+        u, w = next(iter(g.edges()))
+        assert g.weight(u, w) >= 1.0
+
+    @pytest.mark.parametrize("name", ["DP", "TW"])
+    def test_web_proxies_are_directed(self, name):
+        g = load(name, scale=0.1)
+        assert g.directed
+
+    def test_wd_is_temporal_with_insertion_bias(self):
+        tg = load("WD", scale=0.2)
+        assert isinstance(tg, TemporalGraph)
+        later = [e for e in tg.events() if e.time > 0]
+        share = sum(1 for e in later if e.added) / len(later)
+        assert share > 0.6  # the paper's 81% insertion mix
+
+    def test_scale_grows_graphs(self):
+        small = load("LJ", scale=0.1)
+        bigger = load("LJ", scale=0.3)
+        assert bigger.num_nodes > small.num_nodes
+
+    def test_deterministic(self):
+        assert load("OKT", scale=0.1) == load("OKT", scale=0.1)
+
+    def test_dp_labels_are_skewed(self):
+        from collections import Counter
+
+        g = load("DP", scale=0.3)
+        counts = Counter(g.node_label(v) for v in g.nodes())
+        top = counts.most_common(1)[0][1]
+        assert top > g.num_nodes / 3  # Zipf head dominates
+
+    def test_spec_metadata(self):
+        s = spec("FS")
+        assert s.paper_dataset == "Friendster"
+        assert not s.temporal
+        assert spec("WD").temporal

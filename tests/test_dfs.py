@@ -1,0 +1,241 @@
+"""Tests for DFS: the canonical DFS_fp and the deducible IncDFS."""
+
+import random
+
+from oracles import random_edge_batch, random_graph
+from repro import DFSfp, IncDFS, dfs
+from repro.graph import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    VertexDeletion,
+    VertexInsertion,
+    from_edges,
+)
+
+
+def assert_valid_dfs(graph, result):
+    """Structural invariants of a canonical DFS with a virtual root."""
+    n = graph.num_nodes
+    # Every node is numbered; times form a permutation of 0..2n-1.
+    times = sorted(list(result.first.values()) + list(result.last.values()))
+    assert times == list(range(2 * n))
+    for v in graph.nodes():
+        assert result.first[v] < result.last[v]
+        parent = result.parent[v]
+        if parent is not None:
+            # Child interval nested in the parent's.
+            assert result.first[parent] < result.first[v]
+            assert result.last[v] < result.last[parent]
+            # The tree edge exists.
+            if graph.directed:
+                assert graph.has_edge(parent, v)
+            else:
+                assert graph.has_edge(parent, v) or graph.has_edge(v, parent)
+    # The DFS invariant σ: no edge (a, b) with last[a] < first[b]
+    # (a finished before b started — a forward-cross, impossible).
+    for a, b in graph.edges():
+        assert not result.last[a] < result.first[b]
+        if not graph.directed:
+            assert not result.last[b] < result.first[a]
+
+
+class TestBatch:
+    def test_path_graph_numbers(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        result = dfs(g)
+        assert result.first == {0: 0, 1: 1, 2: 2}
+        assert result.last == {2: 3, 1: 4, 0: 5}
+        assert result.parent == {0: None, 1: 0, 2: 1}
+
+    def test_disconnected_gets_virtual_root_children(self):
+        g = from_edges([(0, 1)], directed=True)
+        g.add_node(5)
+        result = dfs(g)
+        assert result.parent[5] is None
+        assert result.first[5] == 4  # after 0's subtree [0..3]
+
+    def test_canonical_child_order_is_sorted(self):
+        g = from_edges([(0, 2), (0, 1)], directed=True)
+        result = dfs(g)
+        assert result.first[1] < result.first[2]
+
+    def test_invariants_on_random_graphs(self):
+        rng = random.Random(31)
+        for _ in range(25):
+            g = random_graph(rng, rng.randint(1, 20), rng.randint(0, 45), rng.random() < 0.5)
+            assert_valid_dfs(g, dfs(g))
+
+    def test_preorder_and_tree_edges(self):
+        g = from_edges([(0, 1), (0, 2)], directed=True)
+        result = dfs(g)
+        assert result.preorder() == [0, 1, 2]
+        assert set(result.tree_edges()) == {(0, 1), (0, 2)}
+
+    def test_is_ancestor(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        result = dfs(g)
+        assert result.is_ancestor(0, 2)
+        assert not result.is_ancestor(2, 0)
+
+    def test_answer_roundtrip(self):
+        g = from_edges([(0, 1)], directed=True)
+        algo = DFSfp()
+        state = algo.run(g)
+        result = algo.answer(state)
+        assert result.first[0] == 0
+
+
+class TestDerivedUtilities:
+    def test_classify_edges(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0), (0, 3), (2, 3)], directed=True)
+        result = dfs(g)
+        assert result.classify_edge(0, 1) == "tree/forward"
+        assert result.classify_edge(2, 0) == "back"
+        # (2, 3): 3 explored inside 2's subtree or 0's — check structure.
+        assert result.classify_edge(2, 3) in ("tree/forward", "cross")
+
+    def test_has_cycle(self):
+        from repro.algorithms import has_cycle
+
+        assert not has_cycle(from_edges([(0, 1), (0, 2), (1, 2)], directed=True))
+        assert has_cycle(from_edges([(0, 1), (1, 2), (2, 0)], directed=True))
+
+    def test_self_loop_is_a_cycle(self):
+        from repro.algorithms import has_cycle
+
+        g = from_edges([(0, 1)], directed=True)
+        g.add_edge(1, 1)
+        assert has_cycle(g)
+
+    def test_has_cycle_requires_directed(self):
+        import pytest as _pytest
+
+        from repro.algorithms import has_cycle
+        from repro.errors import IncrementalizationError
+
+        with _pytest.raises(IncrementalizationError):
+            has_cycle(from_edges([(0, 1)]))
+
+    def test_topological_order(self):
+        from repro.algorithms import topological_order
+
+        g = from_edges([(0, 2), (2, 1), (0, 1)], directed=True)
+        order = topological_order(g)
+        position = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert position[u] < position[v]
+
+    def test_topological_order_rejects_cycles(self):
+        import pytest as _pytest
+
+        from repro.algorithms import topological_order
+        from repro.errors import IncrementalizationError
+
+        with _pytest.raises(IncrementalizationError):
+            topological_order(from_edges([(0, 1), (1, 0)], directed=True))
+
+    def test_incremental_topological_maintenance(self):
+        # Maintain a topological order through IncDFS across updates.
+        from repro.algorithms import topological_order
+
+        g = from_edges([(0, 1), (1, 2), (0, 3)], directed=True)
+        batch = DFSfp()
+        state = batch.run(g)
+        inc = IncDFS()
+        inc.apply(g, state, Batch([EdgeInsertion(3, 2)]))
+        result = batch.answer(state)
+        order = topological_order(g, result)
+        position = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert position[u] < position[v]
+
+
+class TestIncremental:
+    def setup_pair(self, graph):
+        batch = DFSfp()
+        state = batch.run(graph)
+        return batch, IncDFS(), state
+
+    def check_equal_to_batch(self, graph, state):
+        want = DFSfp().run(graph)
+        assert dict(state.values) == dict(want.values)
+
+    def test_noop_insertion_changes_nothing(self):
+        # Inserting an edge to an already-visited earlier node: the
+        # canonical traversal is unchanged and IncDFS proves it (f* = ∞).
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        _b, inc, state = self.setup_pair(g)
+        result = inc.apply(g, state, Batch([EdgeInsertion(2, 0)]))
+        assert result.changes == {}
+        self.check_equal_to_batch(g, state)
+
+    def test_nontree_deletion_changes_nothing(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True)
+        _b, inc, state = self.setup_pair(g)
+        result = inc.apply(g, state, Batch([EdgeDeletion(0, 2)]))
+        assert result.changes == {}
+        self.check_equal_to_batch(g, state)
+
+    def test_tree_edge_deletion_reattaches_subtree(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True)
+        _b, inc, state = self.setup_pair(g)
+        inc.apply(g, state, Batch([EdgeDeletion(1, 2)]))
+        self.check_equal_to_batch(g, state)
+        assert state.values[("p", 2)] == 0
+
+    def test_insertion_creates_new_tree_edge(self):
+        g = from_edges([(0, 2)], directed=True)
+        g.add_node(1)
+        _b, inc, state = self.setup_pair(g)
+        # 1 was a root child; edge (0, 1) makes it 0's child, considered
+        # before 2 in 0's sorted scan.
+        inc.apply(g, state, Batch([EdgeInsertion(0, 1)]))
+        self.check_equal_to_batch(g, state)
+        assert state.values[("p", 1)] == 0
+
+    def test_paper_example7_shape(self, paper_graph):
+        # Example 7 workload: delete (5, 6), insert (5, 3).  We verify
+        # equivalence with the canonical batch run (exact numbers differ
+        # from the paper's because its traversal order is unspecified).
+        _b, inc, state = self.setup_pair(paper_graph)
+        delta = Batch([EdgeDeletion(5, 6), EdgeInsertion(5, 3)])
+        inc.apply(paper_graph, state, delta)
+        self.check_equal_to_batch(paper_graph, state)
+
+    def test_vertex_insertion(self):
+        g = from_edges([(0, 1)], directed=True)
+        _b, inc, state = self.setup_pair(g)
+        inc.apply(g, state, Batch([VertexInsertion(5, edges=(EdgeInsertion(1, 5),))]))
+        self.check_equal_to_batch(g, state)
+
+    def test_vertex_deletion(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        _b, inc, state = self.setup_pair(g)
+        inc.apply(g, state, Batch([VertexDeletion(1)]))
+        self.check_equal_to_batch(g, state)
+        assert 1 not in state.values
+        assert ("p", 1) not in state.values
+
+    def test_random_batches_match_canonical_run(self):
+        rng = random.Random(37)
+        for trial in range(30):
+            g = random_graph(rng, rng.randint(2, 18), rng.randint(0, 40), rng.random() < 0.5)
+            _b, inc, state = self.setup_pair(g.copy())
+            work = g.copy()
+            for _step in range(4):
+                delta = random_edge_batch(rng, work, rng.randint(1, 4))
+                inc.apply(work, state, delta)
+                want = DFSfp().run(work)
+                assert dict(state.values) == dict(want.values), f"trial {trial}"
+
+    def test_update_in_late_subtree_leaves_early_subtrees_intact(self):
+        # Two root components: an update inside the later one must leave
+        # the earlier one's intervals untouched (prefix preservation).
+        edges = [(i, i + 1) for i in range(9)] + [(i, i + 1) for i in range(10, 19)]
+        g = from_edges(edges, directed=True)
+        _b, inc, state = self.setup_pair(g)
+        result = inc.apply(g, state, Batch([EdgeDeletion(15, 16)]), measure=True)
+        changed_nodes = {k if not isinstance(k, tuple) else k[1] for k in result.changes}
+        assert changed_nodes  # the later chain did change
+        assert all(node >= 10 for node in changed_nodes)

@@ -1,0 +1,26 @@
+"""Every public docstring example must actually run.
+
+Doctests double as API documentation; this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module_info.name)
+    return sorted(n for n in names if not n.endswith("__main__"))
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failure(s)"

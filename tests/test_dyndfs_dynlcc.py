@@ -1,0 +1,113 @@
+"""Tests for the DynDFS and DynLCC baselines."""
+
+import random
+
+from oracles import oracle_lcc, random_edge_batch, random_graph
+from repro import DFSfp
+from repro.baselines import DynDFS, DynLCC
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, VertexDeletion, VertexInsertion, from_edges
+
+
+class TestDynDFS:
+    def test_build_matches_canonical_dfs(self):
+        g = from_edges([(0, 1), (1, 2), (0, 3)], directed=True)
+        algo = DynDFS()
+        algo.build(g.copy())
+        want = DFSfp()(g)
+        got = algo.answer()
+        assert (got.first, got.last, got.parent) == (want.first, want.last, want.parent)
+
+    def test_unit_updates_track_canonical_run(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        algo = DynDFS()
+        algo.build(g.copy())
+        algo.apply(Batch([EdgeDeletion(1, 2), EdgeInsertion(0, 2)]))
+        want = DFSfp()(algo.graph)
+        got = algo.answer()
+        assert got.first == want.first and got.parent == want.parent
+
+    def test_vertex_updates(self):
+        g = from_edges([(0, 1)], directed=True)
+        algo = DynDFS()
+        algo.build(g.copy())
+        algo.apply(Batch([VertexInsertion(5, edges=(EdgeInsertion(1, 5),))]))
+        algo.apply(Batch([VertexDeletion(0)]))
+        want = DFSfp()(algo.graph)
+        got = algo.answer()
+        assert (got.first, got.last, got.parent) == (want.first, want.last, want.parent)
+
+    def test_random_sequences(self):
+        rng = random.Random(71)
+        for trial in range(20):
+            directed = rng.random() < 0.5
+            g = random_graph(rng, rng.randint(2, 16), rng.randint(0, 32), directed)
+            algo = DynDFS()
+            algo.build(g.copy())
+            for _step in range(4):
+                delta = random_edge_batch(rng, algo.graph, rng.randint(1, 3))
+                algo.apply(delta)
+                want = DFSfp()(algo.graph)
+                got = algo.answer()
+                assert (got.first, got.last, got.parent) == (
+                    want.first,
+                    want.last,
+                    want.parent,
+                ), f"trial {trial}"
+
+
+class TestDynLCC:
+    def test_build_matches_oracle(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        algo = DynLCC()
+        algo.build(g.copy())
+        assert algo.answer() == oracle_lcc(g)
+
+    def test_directed_graph_rejected(self):
+        import pytest
+
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            DynLCC().build(from_edges([(0, 1)], directed=True))
+
+    def test_insertion_updates_counters_locally(self):
+        g = from_edges([(0, 1), (1, 2)])
+        algo = DynLCC()
+        algo.build(g)
+        algo.apply(Batch([EdgeInsertion(0, 2)]))
+        assert algo.answer() == {0: 1.0, 1: 1.0, 2: 1.0}
+        assert algo.triangles == {0: 1, 1: 1, 2: 1}
+
+    def test_deletion_updates_counters(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        algo = DynLCC()
+        algo.build(g)
+        algo.apply(Batch([EdgeDeletion(0, 2)]))
+        assert algo.triangles == {0: 0, 1: 0, 2: 0}
+
+    def test_vertex_updates(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        algo = DynLCC()
+        algo.build(g)
+        algo.apply(Batch([VertexInsertion(9, edges=(EdgeInsertion(0, 9), EdgeInsertion(1, 9)))]))
+        assert algo.answer() == oracle_lcc(algo.graph)
+        algo.apply(Batch([VertexDeletion(2)]))
+        assert algo.answer() == oracle_lcc(algo.graph)
+
+    def test_self_loops_tolerated(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        algo = DynLCC()
+        algo.build(g)
+        algo.apply(Batch([EdgeInsertion(0, 0)]))
+        assert algo.answer() == oracle_lcc(algo.graph)
+
+    def test_random_sequences(self):
+        rng = random.Random(73)
+        for trial in range(25):
+            g = random_graph(rng, rng.randint(3, 18), rng.randint(2, 36), directed=False)
+            algo = DynLCC()
+            algo.build(g.copy())
+            for _step in range(5):
+                delta = random_edge_batch(rng, algo.graph, rng.randint(1, 4))
+                algo.apply(delta)
+                assert algo.answer() == oracle_lcc(algo.graph), f"trial {trial}"

@@ -1,0 +1,158 @@
+"""Unit tests for the generic fixpoint engine (Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.core import FixpointSpec, MinValueOrder, new_state, run_batch, run_fixpoint
+from repro.core.state import FixpointState
+from repro.errors import FixpointError
+from repro.graph import from_edges
+from repro.metrics import AccessCounter
+
+INF = math.inf
+
+
+class LongestChainSpec(FixpointSpec):
+    """A toy contracting spec: x_v = min over in-nbrs of (x_w - 1), from 0.
+
+    The fixpoint assigns ``-(longest path length to v)`` on a DAG.
+    """
+
+    name = "Chain"
+    order = MinValueOrder()
+
+    def variables(self, graph, query):
+        return graph.nodes()
+
+    def initial_value(self, key, graph, query):
+        return 0
+
+    def update(self, key, value_of, graph, query):
+        best = 0
+        for w in graph.in_neighbors(key):
+            candidate = value_of(w) - 1
+            if candidate < best:
+                best = candidate
+        return best
+
+    def dependents(self, key, graph, query):
+        return graph.out_neighbors(key)
+
+
+class TestBatchRuns:
+    def test_fifo_fixpoint_on_dag(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True)
+        state = run_batch(LongestChainSpec(), g, None)
+        assert state.values == {0: 0, 1: -1, 2: -2}
+
+    def test_all_variables_seeded(self):
+        g = from_edges([(0, 1)], directed=True)
+        state = new_state(LongestChainSpec(), g, None)
+        assert set(state.values) == {0, 1}
+        assert state.timestamp(0) == -1
+
+    def test_counter_attached(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        counter = AccessCounter()
+        state = run_batch(LongestChainSpec(), g, None, counter=counter)
+        assert counter.evals > 0
+        assert counter.writes == sum(1 for v in state.values.values() if v != 0)
+
+    def test_timestamps_follow_write_order(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        state = run_batch(LongestChainSpec(), g, None)
+        assert state.timestamp(1) < state.timestamp(2)
+        assert state.timestamp(0) == -1  # never written
+
+
+class TestResume:
+    def test_resume_requires_scope(self):
+        g = from_edges([(0, 1)], directed=True)
+        state = run_batch(LongestChainSpec(), g, None)
+        with pytest.raises(FixpointError):
+            run_fixpoint(LongestChainSpec(), g, None, state=state)
+
+    def test_resume_from_partial_state(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True)
+        spec = LongestChainSpec()
+        state = run_batch(spec, g, None)
+        g.add_edge(2, 3)
+        state.seed(3, 0)
+        run_fixpoint(spec, g, None, state=state, scope=[3])
+        assert state.values[3] == -3
+
+    def test_retired_scope_keys_are_skipped(self):
+        g = from_edges([(0, 1)], directed=True)
+        spec = LongestChainSpec()
+        state = run_batch(spec, g, None)
+        state.drop(1)
+        g.remove_node(1)
+        run_fixpoint(spec, g, None, state=state, scope=[1])  # no crash
+        assert 1 not in state.values
+
+
+class TestGuards:
+    def test_max_evals_raises_on_divergence(self):
+        # The chain spec diverges downward on a cycle; max_evals bounds it.
+        g = from_edges([(0, 1), (1, 0)], directed=True)
+        spec = LongestChainSpec()
+        with pytest.raises(FixpointError):
+            run_fixpoint(
+                spec, g, None,
+                state=new_state(spec, g, None),
+                scope=[0, 1],
+                max_evals=50,
+            )
+
+    def test_contracting_guard_skips_upward_moves(self):
+        # Start node 1 *below* its fixpoint (infeasible): the guard keeps
+        # the engine from raising it, so the too-low value persists — the
+        # documented reason h must produce feasible states.
+        g = from_edges([(0, 1)], directed=True)
+        spec = LongestChainSpec()
+        state = new_state(spec, g, None)
+        state.set(1, -100)
+        run_fixpoint(spec, g, None, state=state, scope=[1])
+        assert state.values[1] == -100
+
+    def test_relaxations_rejected_for_pull_specs(self):
+        g = from_edges([(0, 1)], directed=True)
+        spec = LongestChainSpec()
+        state = run_batch(spec, g, None)
+        with pytest.raises(FixpointError):
+            run_fixpoint(spec, g, None, state=state, scope=[1], relaxations=[(0, 1)])
+
+
+class TestPushEngine:
+    def test_sssp_push_matches_pull(self):
+        from repro.algorithms.sssp import SSSPSpec
+
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True, weights=[1.0, 1.0, 5.0])
+        push_state = run_batch(SSSPSpec(), g, 0)
+
+        class PullSSSP(SSSPSpec):
+            supports_push = False
+
+        pull_state = run_batch(PullSSSP(), g, 0)
+        assert push_state.values == pull_state.values == {0: 0.0, 1: 1.0, 2: 2.0}
+
+    def test_push_requires_order(self):
+        from repro.algorithms.sssp import SSSPSpec
+
+        class Broken(SSSPSpec):
+            order = None
+
+        g = from_edges([(0, 1)], directed=True)
+        with pytest.raises(FixpointError):
+            run_batch(Broken(), g, 0)
+
+    def test_push_relaxations_lower_values(self):
+        from repro.algorithms.sssp import SSSPSpec
+
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[1.0, 1.0])
+        spec = SSSPSpec()
+        state = run_batch(spec, g, 0)
+        g.add_edge(0, 2, weight=0.5)
+        run_fixpoint(spec, g, 0, state=state, scope=[], relaxations=[(0, 2)])
+        assert state.values[2] == 0.5

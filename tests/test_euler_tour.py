@@ -1,0 +1,135 @@
+"""Tests for the Euler tour forest (the HDT substrate)."""
+
+import random
+
+import pytest
+
+from repro.baselines import EulerTourForest
+from repro.errors import GraphError
+
+
+def forest_with(*vertices):
+    f = EulerTourForest(seed=1)
+    for v in vertices:
+        f.add_vertex(v)
+    return f
+
+
+class TestBasics:
+    def test_singletons_are_disconnected(self):
+        f = forest_with(1, 2)
+        assert not f.connected(1, 2)
+        assert f.tree_size(1) == 1
+
+    def test_link_connects(self):
+        f = forest_with(1, 2, 3)
+        f.link(1, 2)
+        assert f.connected(1, 2)
+        assert not f.connected(1, 3)
+        assert f.tree_size(2) == 2
+
+    def test_cut_disconnects(self):
+        f = forest_with(1, 2, 3)
+        f.link(1, 2)
+        f.link(2, 3)
+        f.cut(1, 2)
+        assert not f.connected(1, 3)
+        assert f.connected(2, 3)
+        assert f.tree_size(1) == 1
+        assert f.tree_size(3) == 2
+
+    def test_link_cycle_raises(self):
+        f = forest_with(1, 2)
+        f.link(1, 2)
+        with pytest.raises(GraphError):
+            f.link(2, 1)
+
+    def test_cut_missing_edge_raises(self):
+        f = forest_with(1, 2)
+        with pytest.raises(GraphError):
+            f.cut(1, 2)
+
+    def test_link_unknown_vertex_raises(self):
+        f = forest_with(1)
+        with pytest.raises(GraphError):
+            f.link(1, 99)
+
+    def test_add_vertex_idempotent(self):
+        f = forest_with(1)
+        f.add_vertex(1)
+        assert len(f) == 1
+
+    def test_remove_isolated_vertex(self):
+        f = forest_with(1, 2)
+        f.remove_vertex(2)
+        assert 2 not in f
+        f.link_ok = None
+
+    def test_remove_linked_vertex_raises(self):
+        f = forest_with(1, 2)
+        f.link(1, 2)
+        with pytest.raises(GraphError):
+            f.remove_vertex(1)
+
+    def test_tree_vertices_enumerates_component(self):
+        f = forest_with(1, 2, 3, 4)
+        f.link(1, 2)
+        f.link(2, 3)
+        assert sorted(f.tree_vertices(3)) == [1, 2, 3]
+        assert list(f.tree_vertices(4)) == [4]
+
+    def test_has_edge(self):
+        f = forest_with(1, 2)
+        f.link(1, 2)
+        assert f.has_edge(1, 2) and f.has_edge(2, 1)
+        f.cut(1, 2)
+        assert not f.has_edge(1, 2)
+
+
+class TestRandomized:
+    def test_matches_recomputed_components(self):
+        rng = random.Random(53)
+        n = 30
+        f = EulerTourForest(seed=7)
+        for v in range(n):
+            f.add_vertex(v)
+        tree_edges = set()
+
+        def components():
+            # Recompute components from tree_edges with a flood fill.
+            adj = {v: set() for v in range(n)}
+            for u, v in tree_edges:
+                adj[u].add(v)
+                adj[v].add(u)
+            comp = {}
+            for v in range(n):
+                if v in comp:
+                    continue
+                stack, seen = [v], {v}
+                while stack:
+                    x = stack.pop()
+                    comp[x] = v
+                    for w in adj[x]:
+                        if w not in seen:
+                            seen.add(w)
+                            stack.append(w)
+            return comp
+
+        for step in range(400):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if (min(u, v), max(u, v)) in tree_edges:
+                f.cut(u, v)
+                tree_edges.discard((min(u, v), max(u, v)))
+            elif not f.connected(u, v):
+                f.link(u, v)
+                tree_edges.add((min(u, v), max(u, v)))
+            comp = components()
+            # Spot-check a few pairs each round.
+            for _ in range(5):
+                a, b = rng.randrange(n), rng.randrange(n)
+                assert f.connected(a, b) == (comp[a] == comp[b]), f"step {step}"
+            # Size agreement for one random vertex.
+            a = rng.randrange(n)
+            assert f.tree_size(a) == sum(1 for x in range(n) if comp[x] == comp[a])

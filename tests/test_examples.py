@@ -1,0 +1,21 @@
+"""Every example script must run to completion and print its results."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLES) >= 4
+    assert any(p.stem == "quickstart" for p in EXAMPLES)

@@ -1,0 +1,189 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import (
+    DEFAULT_ALPHABET,
+    assign_labels,
+    assign_weights,
+    barabasi_albert,
+    erdos_renyi,
+    grid_2d,
+    label_distribution,
+    largest_component_root,
+    paper_patterns,
+    random_pattern,
+    random_updates,
+    rmat,
+    split_percentages,
+    synthetic_temporal,
+    touch_biased_updates,
+    watts_strogatz,
+)
+from repro.graph import Batch, EdgeInsertion, apply_updates
+
+
+class TestGraphGenerators:
+    def test_erdos_renyi_exact_counts(self):
+        g = erdos_renyi(20, 35, seed=1)
+        assert g.num_nodes == 20
+        assert g.num_edges == 35
+
+    def test_erdos_renyi_too_many_edges_raises(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(3, 10, seed=1)
+
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(15, 30, seed=7) == erdos_renyi(15, 30, seed=7)
+        assert erdos_renyi(15, 30, seed=7) != erdos_renyi(15, 30, seed=8)
+
+    def test_barabasi_albert_power_law_ish(self):
+        g = barabasi_albert(300, 3, seed=2)
+        degrees = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+        # Hubs exist: the max degree well exceeds the attachment constant.
+        assert degrees[0] > 3 * 4
+        assert g.num_nodes == 300
+
+    def test_barabasi_albert_validates_attachment(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 5)
+
+    def test_rmat_shape(self):
+        g = rmat(7, edge_factor=6, seed=3)
+        assert g.num_nodes == 128
+        assert g.directed
+        assert 0 < g.num_edges <= 6 * 128
+
+    def test_watts_strogatz_validates(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3)  # odd k
+        g = watts_strogatz(30, 4, beta=0.2, seed=4)
+        assert g.num_nodes == 30
+
+    def test_grid_is_connected_lattice(self):
+        g = grid_2d(5, 6, seed=5)
+        assert g.num_nodes == 30
+        assert g.num_edges == 5 * 5 + 4 * 6
+        assert all(w >= 1.0 for _u, _v, w in ((u, v, g.weight(u, v)) for u, v in g.edges()))
+
+    def test_assign_labels_and_weights(self):
+        g = erdos_renyi(20, 30, seed=6)
+        assign_labels(g, seed=1)
+        assert all(g.node_label(v) in DEFAULT_ALPHABET for v in g.nodes())
+        assign_weights(g, low=2.0, high=3.0, seed=1)
+        assert all(2.0 <= g.weight(u, v) <= 3.0 for u, v in g.edges())
+
+    def test_zipf_labels_are_skewed(self):
+        g = erdos_renyi(500, 600, seed=7)
+        assign_labels(g, seed=2, zipf=True)
+        dist = label_distribution(g)
+        assert dist.most_common(1)[0][1] > 500 / len(DEFAULT_ALPHABET)
+
+    def test_largest_component_root(self):
+        g = erdos_renyi(10, 0, seed=8)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        root = largest_component_root(g)
+        assert root in {1, 2, 3}
+
+
+class TestUpdateGenerators:
+    def test_random_updates_apply_cleanly(self):
+        g = erdos_renyi(30, 60, seed=9)
+        delta = random_updates(g, 25, seed=10)
+        assert delta.size == 25
+        apply_updates(g, delta)  # strict: raises if inconsistent
+
+    def test_insert_fraction_extremes(self):
+        g = erdos_renyi(30, 60, seed=11)
+        all_ins = random_updates(g, 20, insert_fraction=1.0, seed=12)
+        assert all(isinstance(u, EdgeInsertion) for u in all_ins)
+        all_del = random_updates(g, 20, insert_fraction=0.0, seed=13)
+        assert all_del.insertions().size == 0
+
+    def test_deterministic(self):
+        g = erdos_renyi(30, 60, seed=14)
+        a = random_updates(g, 10, seed=15)
+        b = random_updates(g, 10, seed=15)
+        assert a.updates == b.updates
+
+    def test_requires_two_nodes(self):
+        g = erdos_renyi(1, 0, seed=16)
+        with pytest.raises(GraphError):
+            random_updates(g, 1, seed=17)
+
+    def test_touch_biased_updates_stay_local(self):
+        g = grid_2d(10, 10, seed=18)
+        delta = touch_biased_updates(g, 10, hotspots=[0], radius=2, seed=19)
+        # All touched nodes lie within 2 hops of corner 0 in the lattice.
+        area = {0, 1, 2, 10, 11, 20, 12, 21, 22, 30}  # radius-2 ball in the grid
+        assert delta.touched_nodes() <= area
+
+    def test_split_percentages_sizes(self):
+        g = erdos_renyi(40, 80, seed=20)
+        batches = split_percentages(g, [0.05, 0.10], seed=21)
+        assert batches[0].size == int(0.05 * g.size)
+        assert batches[1].size == int(0.10 * g.size)
+
+
+class TestPatternGenerators:
+    def test_shape_and_connectivity(self):
+        q = random_pattern(labels=["a", "b"], num_nodes=4, num_edges=6, seed=22)
+        assert q.num_nodes == 4
+        assert q.num_edges == 6
+        # Connected in the undirected sense: flood fill reaches all.
+        seen, stack = {0}, [0]
+        while stack:
+            x = stack.pop()
+            for y in list(q.out_neighbors(x)) + list(q.in_neighbors(x)):
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        assert len(seen) == 4
+
+    def test_labels_come_from_data_graph(self):
+        g = erdos_renyi(20, 30, seed=23)
+        assign_labels(g, alphabet=["x", "y"], seed=24)
+        q = random_pattern(g, num_nodes=3, num_edges=3, seed=25)
+        assert all(q.node_label(u) in {"x", "y"} for u in q.nodes())
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            random_pattern(labels=["a"], num_nodes=3, num_edges=1, seed=26)  # disconnected
+        with pytest.raises(GraphError):
+            random_pattern(labels=["a"], num_nodes=2, num_edges=5, seed=27)  # too dense
+        with pytest.raises(GraphError):
+            random_pattern(num_nodes=3, num_edges=3, seed=28)  # no label source
+
+    def test_paper_patterns_are_4_6(self):
+        g = erdos_renyi(20, 30, seed=29)
+        assign_labels(g, seed=30)
+        patterns = paper_patterns(g, count=5, seed=31)
+        assert len(patterns) == 5
+        assert all(q.num_nodes == 4 and q.num_edges == 6 for q in patterns)
+
+
+class TestTemporalGenerator:
+    def test_event_counts_and_mix(self):
+        g = erdos_renyi(40, 80, seed=32)
+        tg = synthetic_temporal(g, 200, insert_fraction=0.8, seed=33)
+        assert tg.num_events == 80 + 200
+        later = [e for e in tg.events() if e.time > 0]
+        share = sum(1 for e in later if e.added) / len(later)
+        assert 0.6 < share < 0.95
+
+    def test_stream_replays_consistently(self):
+        g = erdos_renyi(25, 50, seed=34)
+        tg = synthetic_temporal(g, 100, seed=35)
+        for start, end in [(0.0, 2.0), (2.0, 4.0)]:
+            snapshot = tg.snapshot(start)
+            apply_updates(snapshot, tg.updates_between(start, end))  # strict
+            assert snapshot == tg.snapshot(end)
+
+    def test_base_graph_is_time_zero(self):
+        g = erdos_renyi(10, 20, seed=36)
+        tg = synthetic_temporal(g, 10, seed=37)
+        assert tg.snapshot(0.0) == g

@@ -1,0 +1,98 @@
+"""Tests for the IncMatch baseline (incremental simulation)."""
+
+import random
+
+import pytest
+
+from oracles import oracle_sim, random_edge_batch, random_graph
+from repro.baselines import IncMatch
+from repro.errors import GraphError
+from repro.generators import random_pattern
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, Graph, VertexDeletion
+
+
+def two_cycle_pattern():
+    q = Graph(directed=True)
+    q.add_node("u", label="b")
+    q.add_node("w", label="c")
+    q.add_edge("u", "w")
+    q.add_edge("w", "u")
+    return q
+
+
+class TestBuild:
+    def test_requires_pattern(self):
+        with pytest.raises(GraphError):
+            IncMatch().build(Graph(directed=True))
+
+    def test_build_matches_oracle(self):
+        rng = random.Random(61)
+        g = random_graph(rng, 12, 25, directed=True, labels=["a", "b", "c"])
+        q = random_pattern(g, num_nodes=3, num_edges=3, seed=0)
+        algo = IncMatch()
+        algo.build(g.copy(), q)
+        assert algo.answer() == oracle_sim(g, q)
+
+
+class TestUpdates:
+    def test_insertion_grows_relation(self):
+        g = Graph(directed=True)
+        g.ensure_node(0, label="b")
+        g.ensure_node(1, label="c")
+        algo = IncMatch()
+        algo.build(g, two_cycle_pattern())
+        assert algo.answer() == set()
+        algo.apply(Batch([EdgeInsertion(0, 1), EdgeInsertion(1, 0)]))
+        assert algo.answer() == {(0, "u"), (1, "w")}
+
+    def test_deletion_shrinks_relation(self):
+        g = Graph(directed=True)
+        g.ensure_node(0, label="b")
+        g.ensure_node(1, label="c")
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        algo = IncMatch()
+        algo.build(g, two_cycle_pattern())
+        algo.apply(Batch([EdgeDeletion(1, 0)]))
+        assert algo.answer() == oracle_sim(g, two_cycle_pattern())
+
+    def test_resurrection_propagates_through_cycles(self):
+        # A long b/c chain closed into a cycle by one insertion: matches
+        # resurrect arbitrarily far from the inserted edge (the case a
+        # hop-bounded candidate area would miss).
+        g = Graph(directed=True)
+        labels = ["b", "c"] * 4
+        for i, label in enumerate(labels):
+            g.ensure_node(i, label=label)
+        for i in range(len(labels) - 1):
+            g.add_edge(i, i + 1)
+        algo = IncMatch()
+        algo.build(g.copy(), two_cycle_pattern())
+        assert algo.answer() == set()
+        algo.apply(Batch([EdgeInsertion(len(labels) - 1, len(labels) - 2)]))
+        assert algo.answer() == oracle_sim(algo.graph, two_cycle_pattern())
+        assert (0, "u") in algo.answer()
+
+    def test_vertex_deletion_drops_matches(self):
+        g = Graph(directed=True)
+        g.ensure_node(0, label="b")
+        g.ensure_node(1, label="c")
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        algo = IncMatch()
+        algo.build(g, two_cycle_pattern())
+        algo.apply(Batch([VertexDeletion(1)]))
+        assert algo.answer() == set()
+
+    def test_random_sequences_match_oracle(self):
+        rng = random.Random(67)
+        for trial in range(20):
+            directed = rng.random() < 0.5
+            g = random_graph(rng, rng.randint(3, 14), rng.randint(2, 28), directed, labels=["a", "b", "c"])
+            q = random_pattern(g, num_nodes=3, num_edges=3, seed=trial)
+            algo = IncMatch()
+            algo.build(g.copy(), q)
+            for _step in range(5):
+                delta = random_edge_batch(rng, algo.graph, rng.randint(1, 4))
+                algo.apply(delta)
+                assert algo.answer() == oracle_sim(algo.graph, q), f"trial {trial}"

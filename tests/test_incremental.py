@@ -1,0 +1,189 @@
+"""Tests for the incrementalization driver (Eqs. 2–3) and FixpointState."""
+
+import math
+
+import pytest
+
+from repro.algorithms.sssp import SSSPSpec
+from repro.core import (
+    BatchAlgorithm,
+    IncrementalAlgorithm,
+    incrementalize,
+    run_batch,
+)
+from repro.core.state import FixpointState
+from repro.errors import IncrementalizationError
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, from_edges
+from repro.metrics import AccessCounter
+
+INF = math.inf
+
+
+def line_graph():
+    return from_edges([(0, 1), (1, 2)], directed=True, weights=[2.0, 2.0])
+
+
+class TestBatchAlgorithm:
+    def test_run_and_answer(self):
+        batch = BatchAlgorithm(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        assert batch.answer(state, g, 0) == {0: 0.0, 1: 2.0, 2: 4.0}
+
+    def test_call_shortcut(self):
+        assert BatchAlgorithm(SSSPSpec())(line_graph(), 0)[2] == 4.0
+
+    def test_name(self):
+        assert BatchAlgorithm(SSSPSpec()).name == "SSSP"
+
+
+class TestIncrementalAlgorithm:
+    def test_changes_record_delta_o(self):
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, Batch([EdgeInsertion(0, 2, weight=1.0)]), 0)
+        assert result.changes == {2: (4.0, 1.0)}
+
+    def test_correctness_equation(self):
+        # Q(G ⊕ ΔG) = Q(G) ⊕ ΔO
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        old_answer = batch.answer(state, g, 0)
+        delta = Batch([EdgeDeletion(0, 1), EdgeInsertion(0, 2, weight=9.0)])
+        result = inc.apply(g, state, delta, 0)
+        patched = dict(old_answer)
+        for key, (_old, new) in result.changes.items():
+            patched[key] = new
+        assert patched == batch.answer(batch.run(g, 0), g, 0)
+
+    def test_graph_and_state_mutated_in_place(self):
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        inc.apply(g, state, Batch([EdgeInsertion(0, 2, weight=1.0)]), 0)
+        assert g.has_edge(0, 2)
+        assert state.values[2] == 1.0
+
+    def test_empty_state_raises(self):
+        inc = IncrementalAlgorithm(SSSPSpec())
+        with pytest.raises(IncrementalizationError):
+            inc.apply(line_graph(), FixpointState(), Batch([EdgeInsertion(0, 2)]), 0)
+
+    def test_accepts_plain_update_list(self):
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, [EdgeInsertion(0, 2, weight=1.0)], 0)
+        assert 2 in result.changes
+
+    def test_repeated_batches_accumulate(self):
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        inc.apply(g, state, Batch([EdgeInsertion(0, 2, weight=1.0)]), 0)
+        inc.apply(g, state, Batch([EdgeDeletion(0, 2)]), 0)
+        assert state.values == {0: 0.0, 1: 2.0, 2: 4.0}
+
+    def test_empty_delta_is_noop(self):
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, Batch(), 0)
+        assert result.changes == {}
+        assert result.scope == set()
+
+    def test_deducibility_flag(self):
+        from repro.algorithms.cc import CCSpec
+
+        assert IncrementalAlgorithm(SSSPSpec()).deducible
+        assert not IncrementalAlgorithm(CCSpec()).deducible
+
+    def test_name_prefixed(self):
+        assert IncrementalAlgorithm(SSSPSpec()).name == "IncSSSP"
+
+
+class TestInstrumentation:
+    def test_measure_off_by_default(self):
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, Batch([EdgeDeletion(1, 2)]), 0)
+        assert result.total_accesses == 0
+
+    def test_measure_counts_accesses(self):
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, Batch([EdgeDeletion(1, 2)]), 0, measure=True)
+        assert result.total_accesses > 0
+        assert 0.0 <= result.scope_share <= 1.0
+
+    def test_trace_records_touched_keys(self):
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, Batch([EdgeDeletion(1, 2)]), 0, trace=True)
+        touched = set(result.h_counter.traced) | set(result.engine_counter.traced)
+        assert 2 in touched
+
+    def test_repr(self):
+        batch, inc = incrementalize(SSSPSpec())
+        g = line_graph()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, Batch([EdgeDeletion(1, 2)]), 0)
+        assert "ΔO" in repr(result)
+
+
+class TestFixpointState:
+    def test_seed_and_timestamps(self):
+        state = FixpointState()
+        state.seed("x", 5)
+        assert state.peek("x") == 5
+        assert state.timestamp("x") == -1
+        state.set("x", 4)
+        assert state.timestamp("x") == 0
+        state.set("y", 1)
+        assert state.timestamp("y") == 1
+
+    def test_changelog_records_first_old_value(self):
+        state = FixpointState()
+        state.seed("x", 5)
+        log = state.start_changelog()
+        state.set("x", 4)
+        state.set("x", 3)
+        assert log == {"x": 5}
+        assert state.stop_changelog() == {"x": 5}
+        state.set("x", 2)  # no longer recorded
+        assert state.changelog is None
+
+    def test_drop_removes_and_logs(self):
+        state = FixpointState()
+        state.seed("x", 5)
+        state.start_changelog()
+        state.drop("x")
+        assert "x" not in state
+        assert state.stop_changelog() == {"x": 5}
+
+    def test_copy_is_independent(self):
+        state = FixpointState()
+        state.seed("x", 5)
+        clone = state.copy()
+        clone.set("x", 1)
+        assert state.peek("x") == 5
+
+    def test_counted_reads_and_writes(self):
+        counter = AccessCounter()
+        state = FixpointState(counter=counter)
+        state.seed("x", 5)
+        state.get("x")
+        state.set("x", 4)
+        assert counter.reads == 1
+        assert counter.writes == 1
+
+    def test_len_and_repr(self):
+        state = FixpointState()
+        state.seed("x", 5)
+        assert len(state) == 1
+        assert "Ψ" in repr(state)

@@ -1,0 +1,100 @@
+"""Tests for runtime invariant checking."""
+
+from repro.algorithms.cc import CCSpec
+from repro.algorithms.sssp import SSSPSpec
+from repro.core import run_batch
+from repro.core.invariants import (
+    InvariantReport,
+    check_feasibility,
+    check_fixpoint_invariant,
+    check_scope_validity,
+)
+from repro.graph import from_edges
+
+
+def sssp_setup():
+    g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True, weights=[1.0, 1.0, 5.0])
+    spec = SSSPSpec()
+    state = run_batch(spec, g, 0)
+    return g, spec, state
+
+
+class TestFixpointInvariant:
+    def test_holds_at_fixpoint(self):
+        g, spec, state = sssp_setup()
+        assert check_fixpoint_invariant(spec, g, 0, state)
+
+    def test_detects_corruption(self):
+        g, spec, state = sssp_setup()
+        state.values[2] = 99.0
+        report = check_fixpoint_invariant(spec, g, 0, state)
+        assert not report
+        assert "σ violated" in report.violations[0]
+
+    def test_max_report_caps_output(self):
+        g, spec, state = sssp_setup()
+        state.values[1] = 50.0
+        state.values[2] = 50.0
+        report = check_fixpoint_invariant(spec, g, 0, state, max_report=1)
+        assert len(report.violations) == 1
+
+    def test_holds_for_cc(self):
+        g = from_edges([(0, 1), (2, 3)])
+        spec = CCSpec()
+        assert check_fixpoint_invariant(spec, g, None, run_batch(spec, g, None))
+
+
+class TestFeasibility:
+    def test_fixpoint_is_feasible(self):
+        g, spec, state = sssp_setup()
+        final = dict(state.values)
+        assert check_feasibility(spec, g, 0, state, final)
+
+    def test_above_initial_flagged(self):
+        g, spec, state = sssp_setup()
+        final = dict(state.values)
+        state.values[0] = 1.0  # above the source's initial 0.0 under ≤? no: below ∞, but source top is 0
+        report = check_feasibility(spec, g, 0, state, final)
+        assert not report
+        assert "above initial" in report.violations[0]
+
+    def test_below_final_flagged(self):
+        g, spec, state = sssp_setup()
+        final = dict(state.values)
+        state.values[2] = 0.5  # below its true distance 2.0: infeasible
+        report = check_feasibility(spec, g, 0, state, final)
+        assert not report
+        assert "infeasible" in report.violations[0]
+
+    def test_orderless_spec_trivially_ok(self):
+        from repro.algorithms.lcc import LCCSpec
+
+        g = from_edges([(0, 1)])
+        spec = LCCSpec()
+        state = run_batch(spec, g, None)
+        assert check_feasibility(spec, g, None, state, dict(state.values))
+
+
+class TestScopeValidity:
+    def test_fixpoint_needs_empty_scope(self):
+        g, spec, state = sssp_setup()
+        assert check_scope_validity(spec, g, 0, state, scope=set())
+
+    def test_violating_variable_must_be_in_scope(self):
+        g, spec, state = sssp_setup()
+        g.remove_edge(1, 2)  # node 2's f now gives 5.0, stored 2.0... f gives 5 > stored
+        # Stored 2.0 vs f 5.0 is an upward difference: not a lowering
+        # violation, so the empty scope is still valid...
+        assert check_scope_validity(spec, g, 0, state, scope=set())
+        # ...but after raising 2 to ∞, f (5.0) is *below* the stored value:
+        state.values[2] = float("inf")
+        report = check_scope_validity(spec, g, 0, state, scope=set())
+        assert not report
+        assert check_scope_validity(spec, g, 0, state, scope={2})
+
+
+class TestReport:
+    def test_bool_and_constructor(self):
+        assert InvariantReport(holds=True)
+        assert not InvariantReport.from_violations(["x"]).holds
+        assert InvariantReport.from_violations([]).holds

@@ -1,0 +1,127 @@
+"""Round-trip tests for graph serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import EdgeEvent, Graph, TemporalGraph, from_edges
+from repro.graph.io import (
+    read_edge_list,
+    read_events,
+    read_json,
+    read_labeled_edge_list,
+    write_edge_list,
+    write_events,
+    write_json,
+    write_labeled_edge_list,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    g = Graph(directed=True)
+    g.add_edge(0, 1, weight=2.5)
+    g.add_edge(1, 2, weight=1.0)
+    g.add_edge(2, 0, weight=3.25)
+    return g
+
+
+class TestEdgeList:
+    def test_roundtrip_directed(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(weighted_graph, path)
+        back = read_edge_list(path, directed=True)
+        assert back == weighted_graph
+
+    def test_roundtrip_undirected(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% other comment\n0 1\n1 2 2.5\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+        assert g.weight(1, 2) == 2.5
+
+    def test_duplicate_lines_are_deduped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("justonetoken\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_string_node_ids_survive(self, tmp_path):
+        g = Graph()
+        g.add_edge("alice", "bob")
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, write_weights=False)
+        back = read_edge_list(path)
+        assert back.has_edge("alice", "bob")
+
+
+class TestLabeledEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = Graph(directed=True)
+        g.ensure_node(0, label="a")
+        g.ensure_node(1, label="b")
+        g.add_edge(0, 1, weight=2.0)
+        path = tmp_path / "g.txt"
+        write_labeled_edge_list(g, path)
+        back = read_labeled_edge_list(path, directed=True)
+        assert back.node_label(0) == "a"
+        assert back.node_label(1) == "b"
+        assert back.weight(0, 1) == 2.0
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 a 1\n")
+        with pytest.raises(GraphError):
+            read_labeled_edge_list(path)
+
+
+class TestJson:
+    def test_roundtrip_with_labels(self, tmp_path):
+        g = Graph(directed=True)
+        g.add_node(0, label="a")
+        g.add_node(1, label="b")
+        g.add_edge(0, 1, weight=4.0, label="knows")
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        back = read_json(path)
+        assert back == g
+        assert back.edge_label(0, 1) == "knows"
+
+    def test_roundtrip_undirected(self, tmp_path):
+        g = from_edges([(0, 1), (2, 3)])
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        assert read_json(path) == g
+
+
+class TestEvents:
+    def test_roundtrip(self, tmp_path):
+        tg = TemporalGraph(
+            events=[
+                EdgeEvent(1.0, 0, 1, added=True),
+                EdgeEvent(2.0, 0, 1, added=False),
+                EdgeEvent(3.0, 1, 2, added=True),
+            ]
+        )
+        path = tmp_path / "events.txt"
+        write_events(tg, path)
+        back = read_events(path)
+        assert back.num_events == 3
+        assert back.snapshot(10.0).has_edge(1, 2)
+        assert not back.snapshot(10.0).has_edge(0, 1)
+
+    def test_malformed_event_raises(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("0 1 +1\n")
+        with pytest.raises(GraphError):
+            read_events(path)

@@ -1,0 +1,118 @@
+"""Tests for LCC: LCC_fp and the deducible IncLCC."""
+
+import random
+
+import pytest
+
+from oracles import oracle_lcc, random_edge_batch, random_graph
+from repro import IncLCC, LCCfp, lcc
+from repro.graph import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    VertexDeletion,
+    VertexInsertion,
+    from_edges,
+)
+
+
+class TestBatch:
+    def test_triangle_is_a_clique(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        assert lcc(g) == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_star_has_zero_coefficients(self):
+        g = from_edges([(0, 1), (0, 2), (0, 3)])
+        assert lcc(g) == {0: 0.0, 1: 0.0, 2: 0.0, 3: 0.0}
+
+    def test_four_clique(self):
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        g = from_edges(edges)
+        assert all(v == 1.0 for v in lcc(g).values())
+
+    def test_triangle_with_tail(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        result = lcc(g)
+        assert result[0] == result[1] == 1.0
+        assert result[2] == pytest.approx(1 / 3)
+        assert result[3] == 0.0
+
+    def test_degree_below_two_is_zero(self):
+        g = from_edges([(0, 1)])
+        g.add_node(9)
+        result = lcc(g)
+        assert result[0] == result[1] == result[9] == 0.0
+
+    def test_self_loops_ignored(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        g.add_edge(0, 0)
+        assert lcc(g)[0] == 1.0
+
+    def test_matches_oracle_on_random_graphs(self):
+        rng = random.Random(41)
+        for _ in range(25):
+            g = random_graph(rng, rng.randint(2, 20), rng.randint(0, 50), directed=False)
+            assert lcc(g) == oracle_lcc(g)
+
+
+class TestIncremental:
+    def setup_pair(self, graph):
+        batch = LCCfp()
+        state = batch.run(graph)
+        return batch, IncLCC(), state
+
+    def answer(self, batch, state, graph):
+        return batch.answer(state, graph, None)
+
+    def test_insertion_creates_triangle(self):
+        g = from_edges([(0, 1), (1, 2)])
+        batch, inc, state = self.setup_pair(g)
+        inc.apply(g, state, Batch([EdgeInsertion(0, 2)]))
+        assert self.answer(batch, state, g) == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_deletion_destroys_triangle(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        batch, inc, state = self.setup_pair(g)
+        inc.apply(g, state, Batch([EdgeDeletion(0, 2)]))
+        assert self.answer(batch, state, g) == {0: 0.0, 1: 0.0, 2: 0.0}
+
+    def test_scope_is_tight_for_local_update(self):
+        # A long path plus one triangle at the start: updating the far end
+        # must not touch the triangle's variables.
+        edges = [(0, 1), (1, 2), (0, 2)] + [(i, i + 1) for i in range(2, 30)]
+        g = from_edges(edges)
+        batch, inc, state = self.setup_pair(g)
+        result = inc.apply(g, state, Batch([EdgeDeletion(28, 29)]), measure=True)
+        assert ("λ", 0) not in result.scope
+        assert ("d", 29) in result.scope
+        assert len(result.scope) <= 6
+
+    def test_third_vertex_lambda_updates(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)])
+        batch, inc, state = self.setup_pair(g)
+        # Inserting (0, 3) creates triangles {0,1,3} and {0,2,3}; node 1
+        # then sits on {0,1,2}, {0,1,3}, {1,2,3}.
+        inc.apply(g, state, Batch([EdgeInsertion(0, 3)]))
+        assert self.answer(batch, state, g) == oracle_lcc(g)
+        assert state.values[("λ", 1)] == 3
+
+    def test_vertex_updates(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        batch, inc, state = self.setup_pair(g)
+        vi = VertexInsertion(9, edges=(EdgeInsertion(0, 9), EdgeInsertion(1, 9)))
+        inc.apply(g, state, Batch([vi]))
+        assert self.answer(batch, state, g) == oracle_lcc(g)
+        inc.apply(g, state, Batch([VertexDeletion(0)]))
+        assert self.answer(batch, state, g) == oracle_lcc(g)
+        assert ("d", 0) not in state.values
+
+    def test_mixed_batches_match_oracle(self):
+        rng = random.Random(43)
+        for trial in range(30):
+            g = random_graph(rng, rng.randint(3, 18), rng.randint(2, 40), directed=False)
+            batch, inc, state = self.setup_pair(g.copy())
+            work = g.copy()
+            for _step in range(4):
+                delta = random_edge_batch(rng, work, rng.randint(1, 5))
+                inc.apply(work, state, delta)
+                assert self.answer(batch, state, work) == oracle_lcc(work), f"trial {trial}"

@@ -1,0 +1,106 @@
+"""Tests for instrumentation: counters, memory estimation, timers."""
+
+import time
+
+from repro.metrics import (
+    AccessCounter,
+    NullCounter,
+    Stopwatch,
+    deep_size_bytes,
+    state_size_bytes,
+    time_call,
+)
+
+
+class TestAccessCounter:
+    def test_counts_each_kind(self):
+        c = AccessCounter()
+        c.on_read("x")
+        c.on_read("y")
+        c.on_write("x")
+        c.on_eval("x")
+        c.on_scope_push("z")
+        assert (c.reads, c.writes, c.evals, c.scope_pushes) == (2, 1, 1, 1)
+        assert c.total == 5
+
+    def test_trace_records_keys(self):
+        c = AccessCounter(trace=True)
+        c.on_read("x")
+        c.on_scope_push("y")
+        assert c.traced == {"x", "y"}
+
+    def test_no_trace_by_default(self):
+        c = AccessCounter()
+        c.on_read("x")
+        assert c.traced is None
+
+    def test_reset(self):
+        c = AccessCounter(trace=True)
+        c.on_read("x")
+        c.reset()
+        assert c.total == 0
+        assert c.traced == set()
+
+    def test_merge(self):
+        a = AccessCounter(trace=True)
+        b = AccessCounter(trace=True)
+        a.on_read("x")
+        b.on_write("y")
+        a.merge(b)
+        assert a.total == 2
+        assert a.traced == {"x", "y"}
+
+    def test_as_dict_and_repr(self):
+        c = AccessCounter()
+        c.on_eval("x")
+        assert c.as_dict()["evals"] == 1
+        assert "evals=1" in repr(c)
+
+    def test_null_counter_ignores_everything(self):
+        c = NullCounter()
+        c.on_read("x")
+        c.on_write("x")
+        c.on_eval("x")
+        c.on_scope_push("x")
+        assert c.total == 0
+
+
+class TestMemory:
+    def test_containers_counted_recursively(self):
+        flat = deep_size_bytes([1, 2, 3])
+        nested = deep_size_bytes([[1, 2, 3], [4, 5, 6]])
+        assert nested > flat > 0
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(100))
+        assert deep_size_bytes([shared, shared]) < 2 * deep_size_bytes(shared)
+
+    def test_dicts_and_slots(self):
+        class Slotted:
+            __slots__ = ("a",)
+
+            def __init__(self):
+                self.a = list(range(50))
+
+        assert deep_size_bytes(Slotted()) > deep_size_bytes(list(range(50)))
+        assert deep_size_bytes({"k": [1, 2]}) > deep_size_bytes({})
+
+    def test_state_size(self):
+        from repro.core.state import FixpointState
+
+        state = FixpointState()
+        for i in range(100):
+            state.seed(i, float(i))
+        assert state_size_bytes(state) > 100 * 8
+
+
+class TestTimers:
+    def test_stopwatch(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.005
+
+    def test_time_call_returns_result(self):
+        result, seconds = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0.0

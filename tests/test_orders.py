@@ -1,0 +1,69 @@
+"""Unit tests for the partial orders of Section 4."""
+
+import math
+
+from repro.core import BooleanOrder, IntervalOrder, MinValueOrder
+
+INF = math.inf
+
+
+class TestMinValueOrder:
+    order = MinValueOrder()
+
+    def test_numeric_leq(self):
+        assert self.order.leq(1, 2)
+        assert self.order.leq(2, 2)
+        assert not self.order.leq(3, 2)
+
+    def test_infinity_is_top(self):
+        assert self.order.leq(10**9, INF)
+        assert self.order.lt(0, INF)
+
+    def test_lt_is_strict(self):
+        assert not self.order.lt(2, 2)
+        assert self.order.lt(1, 2)
+
+    def test_total(self):
+        assert self.order.comparable(5, 7)
+
+
+class TestBooleanOrder:
+    order = BooleanOrder()
+
+    def test_false_below_true(self):
+        assert self.order.leq(False, True)
+        assert not self.order.leq(True, False)
+        assert self.order.lt(False, True)
+
+    def test_reflexive(self):
+        assert self.order.leq(True, True)
+        assert self.order.leq(False, False)
+        assert not self.order.lt(True, True)
+
+    def test_total(self):
+        assert self.order.comparable(True, False)
+
+
+class TestIntervalOrder:
+    order = IntervalOrder()
+
+    def test_disjoint_intervals_ordered(self):
+        assert self.order.lt((0, 3), (4, 9))
+        assert not self.order.leq((4, 9), (0, 3))
+
+    def test_touching_intervals(self):
+        assert self.order.leq((0, 3), (3, 5))
+
+    def test_initial_interval_is_top(self):
+        assert self.order.lt((4, 9), (INF, INF))
+        assert self.order.leq((INF, INF), (INF, INF))
+
+    def test_reflexive_on_equal(self):
+        assert self.order.leq((2, 7), (2, 7))
+        assert not self.order.lt((2, 7), (2, 7))
+
+    def test_nested_intervals_incomparable(self):
+        # A child's interval is nested in its parent's: neither precedes.
+        assert not self.order.leq((1, 4), (0, 5))
+        assert not self.order.leq((0, 5), (1, 4))
+        assert not self.order.comparable((0, 5), (1, 4))

@@ -1,0 +1,106 @@
+"""Tests for fixpoint-state persistence."""
+
+import io
+import math
+
+import pytest
+
+from repro import CCfp, Dijkstra, IncSSSP, Simfp
+from repro.core.persistence import dump_state, load_state
+from repro.core.state import FixpointState
+from repro.errors import ReproError
+from repro.graph import Batch, EdgeInsertion, Graph, from_edges
+
+
+class TestRoundTrip:
+    def test_values_timestamps_clock(self):
+        state = FixpointState()
+        state.seed("a", 1)
+        state.set("a", 2)
+        state.set("b", 3)
+        buffer = io.StringIO()
+        dump_state(state, buffer)
+        buffer.seek(0)
+        back = load_state(buffer)
+        assert back.values == state.values
+        assert back.timestamps == state.timestamps
+        assert back.clock == state.clock
+
+    def test_file_path_roundtrip(self, tmp_path):
+        state = FixpointState()
+        state.seed(1, math.inf)
+        path = tmp_path / "state.json"
+        dump_state(state, path)
+        assert load_state(path).values == {1: math.inf}
+
+    def test_infinities_and_negatives(self):
+        state = FixpointState()
+        state.seed("pos", math.inf)
+        state.seed("neg", -math.inf)
+        state.seed("num", -2.5)
+        buffer = io.StringIO()
+        dump_state(state, buffer)
+        buffer.seek(0)
+        back = load_state(buffer)
+        assert back.values == {"pos": math.inf, "neg": -math.inf, "num": -2.5}
+
+    def test_tuple_keys_and_values(self):
+        state = FixpointState()
+        state.seed(("d", 5), 3)          # LCC-style key
+        state.seed((7, "u"), True)       # Sim-style key
+        state.seed(9, (0, 15))           # DFS-style interval value
+        state.seed(("p", 9), None)       # DFS parent
+        buffer = io.StringIO()
+        dump_state(state, buffer)
+        buffer.seek(0)
+        back = load_state(buffer)
+        assert back.values == state.values
+
+    def test_unsupported_value_raises(self):
+        state = FixpointState()
+        state.seed("x", object())
+        with pytest.raises(ReproError):
+            dump_state(state, io.StringIO())
+
+    def test_bad_version_raises(self):
+        buffer = io.StringIO('{"version": 99, "clock": 0, "entries": []}')
+        with pytest.raises(ReproError):
+            load_state(buffer)
+
+
+class TestRealStates:
+    def test_sssp_state_survives_restart(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[2.0, 2.0])
+        batch = Dijkstra()
+        state = batch.run(g, 0)
+        path = tmp_path / "sssp.json"
+        dump_state(state, path)
+
+        # "Restart": reload and continue applying updates incrementally.
+        revived = load_state(path)
+        inc = IncSSSP()
+        inc.apply(g, revived, Batch([EdgeInsertion(0, 2, weight=1.0)]), 0)
+        assert revived.values[2] == 1.0
+
+    def test_cc_timestamps_survive(self, tmp_path):
+        # Weakly deducible algorithms need their timestamps back intact.
+        g = from_edges([(0, 1), (1, 2)])
+        state = CCfp().run(g)
+        path = tmp_path / "cc.json"
+        dump_state(state, path)
+        revived = load_state(path)
+        assert revived.timestamps == state.timestamps
+
+    def test_sim_state_roundtrip(self, tmp_path):
+        g = Graph(directed=True)
+        g.ensure_node(0, label="a")
+        g.ensure_node(1, label="b")
+        g.add_edge(0, 1)
+        q = Graph(directed=True)
+        q.add_node("x", label="a")
+        q.add_node("y", label="b")
+        q.add_edge("x", "y")
+        state = Simfp().run(g, q)
+        path = tmp_path / "sim.json"
+        dump_state(state, path)
+        assert load_state(path).values == state.values

@@ -1,0 +1,53 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.plots import ascii_chart, chart_from_result
+from repro.bench.tables import ExperimentResult
+
+
+class TestAsciiChart:
+    def test_markers_and_legend(self):
+        text = ascii_chart({"fast": [(0, 1.0), (10, 2.0)], "slow": [(0, 5.0), (10, 50.0)]})
+        assert "o=fast" in text and "x=slow" in text
+        assert "o" in text and "x" in text
+
+    def test_log_scale_labels(self):
+        text = ascii_chart({"s": [(0, 0.001), (1, 100.0)]}, logy=True)
+        assert "100" in text
+        assert "0.001" in text
+        assert "log" in text or True  # ylabel optional
+
+    def test_linear_scale(self):
+        text = ascii_chart({"s": [(0, 1.0), (1, 3.0)]}, logy=False, ylabel="items")
+        assert "linear" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({}, title="T")
+
+    def test_nonpositive_values_skipped_on_log_scale(self):
+        text = ascii_chart({"s": [(0, 0.0), (1, 1.0)]}, logy=True)
+        assert "s" in text  # does not crash
+
+    def test_constant_series(self):
+        text = ascii_chart({"s": [(0, 2.0), (5, 2.0)]})
+        assert "o" in text
+
+    def test_title_first_line(self):
+        assert ascii_chart({"s": [(0, 1.0)]}, title="My chart").splitlines()[0] == "My chart"
+
+
+class TestChartFromResult:
+    def test_numeric_columns_become_series(self):
+        result = ExperimentResult(
+            title="T",
+            headers=["pct", "batch", "inc", "label"],
+            rows=[[2.0, 0.5, 0.1, "a"], [4.0, 0.5, 0.2, "b"]],
+        )
+        text = chart_from_result(result)
+        assert "o=batch" in text and "x=inc" in text
+        assert "label" not in text.splitlines()[-2]  # non-numeric column skipped
+
+    def test_non_numeric_x_falls_back_to_index(self):
+        result = ExperimentResult(
+            title="T", headers=["name", "time"], rows=[["a", 1.0], ["b", 2.0]]
+        )
+        assert "o=time" in chart_from_result(result)

@@ -1,0 +1,100 @@
+"""Property-based tests for the Φ-extensions and persistence."""
+
+import io
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import random_edge_batch, random_graph
+from repro import CorenessFp, IncCoreness, IncReach, IncSSWP, Reachability, WidestPath
+from repro.core.persistence import dump_state, load_state
+from repro.core.state import FixpointState
+
+settings.register_profile("repro-ext", deadline=None, max_examples=25)
+settings.load_profile("repro-ext")
+
+scenario = st.tuples(
+    st.integers(min_value=2, max_value=15),
+    st.integers(min_value=0, max_value=34),
+    st.booleans(),
+    st.integers(),
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3),
+)
+
+
+@given(scenario)
+def test_incsswp_equals_batch_rerun(params):
+    n, m, directed, seed, batch_sizes = params
+    rng = random.Random(seed)
+    g = random_graph(rng, n, m, directed, weighted=True)
+    batch, inc = WidestPath(), IncSSWP()
+    state = batch.run(g.copy(), 0)
+    work = g.copy()
+    for size in batch_sizes:
+        delta = random_edge_batch(rng, work, size, weighted=True)
+        inc.apply(work, state, delta, 0)
+        assert dict(state.values) == dict(batch.run(work, 0).values)
+
+
+@given(scenario)
+def test_increach_equals_batch_rerun(params):
+    n, m, directed, seed, batch_sizes = params
+    rng = random.Random(seed)
+    g = random_graph(rng, n, m, directed)
+    batch, inc = Reachability(), IncReach()
+    state = batch.run(g.copy(), 0)
+    work = g.copy()
+    for size in batch_sizes:
+        delta = random_edge_batch(rng, work, size)
+        inc.apply(work, state, delta, 0)
+        assert dict(state.values) == dict(batch.run(work, 0).values)
+
+
+@given(scenario)
+def test_inccoreness_equals_batch_rerun(params):
+    n, m, _directed, seed, batch_sizes = params
+    rng = random.Random(seed)
+    g = random_graph(rng, n, m, directed=False)
+    batch, inc = CorenessFp(), IncCoreness()
+    state = batch.run(g.copy())
+    work = g.copy()
+    for size in batch_sizes:
+        delta = random_edge_batch(rng, work, size)
+        inc.apply(work, state, delta)
+        assert dict(state.values) == dict(batch.run(work).values)
+
+
+# ----------------------------------------------------------------------
+# Persistence: arbitrary library-shaped states round-trip losslessly.
+# ----------------------------------------------------------------------
+scalar = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.none(),
+    st.text(max_size=10),
+    st.floats(allow_nan=False, width=32),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+)
+value = st.one_of(scalar, st.tuples(scalar, scalar))
+key = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.text(min_size=1, max_size=8),
+    st.tuples(st.text(min_size=1, max_size=3), st.integers(min_value=0, max_value=100)),
+)
+
+
+@given(st.dictionaries(key, value, max_size=30), st.integers(min_value=0, max_value=100))
+def test_state_persistence_roundtrip(entries, clock):
+    state = FixpointState()
+    for k, v in entries.items():
+        state.seed(k, v)
+    state.clock = clock
+    buffer = io.StringIO()
+    dump_state(state, buffer)
+    buffer.seek(0)
+    back = load_state(buffer)
+    assert back.values == state.values
+    assert back.timestamps == state.timestamps
+    assert back.clock == clock

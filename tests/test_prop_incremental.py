@@ -1,0 +1,134 @@
+"""Property-based tests of the paper's central claims.
+
+For every query class and arbitrary update sequences:
+
+* **Correctness (Theorem 1 / Section 2):** the deduced incremental
+  algorithm's state equals a from-scratch batch run on ``G ⊕ ΔG``.
+* **Boundedness condition C1 (Theorem 3):** the scope function's ``H⁰``
+  is contained in ``AFF`` for the spec-based algorithms.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import (
+    oracle_cc,
+    oracle_lcc,
+    oracle_sim,
+    oracle_sssp,
+    random_edge_batch,
+    random_graph,
+)
+from repro import CCfp, DFSfp, Dijkstra, IncCC, IncDFS, IncLCC, IncSSSP, IncSim, LCCfp, Simfp
+from repro.core import verify_relative_boundedness
+from repro.generators import random_pattern
+
+settings.register_profile("repro-inc", deadline=None, max_examples=30)
+settings.load_profile("repro-inc")
+
+scenario = st.tuples(
+    st.integers(min_value=2, max_value=16),  # nodes
+    st.integers(min_value=0, max_value=36),  # edge attempts
+    st.booleans(),  # directed
+    st.integers(),  # seed
+    st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4),  # batch sizes
+)
+
+
+@given(scenario)
+def test_incsssp_equals_batch_rerun(params):
+    n, m, directed, seed, batch_sizes = params
+    rng = random.Random(seed)
+    g = random_graph(rng, n, m, directed, weighted=True)
+    state = Dijkstra().run(g.copy(), 0)
+    inc = IncSSSP()
+    work = g.copy()
+    for size in batch_sizes:
+        delta = random_edge_batch(rng, work, size, weighted=True)
+        inc.apply(work, state, delta, 0)
+        assert dict(state.values) == oracle_sssp(work, 0)
+
+
+@given(scenario)
+def test_inccc_equals_batch_rerun(params):
+    n, m, _directed, seed, batch_sizes = params
+    rng = random.Random(seed)
+    g = random_graph(rng, n, m, directed=False)
+    state = CCfp().run(g.copy())
+    inc = IncCC()
+    work = g.copy()
+    for size in batch_sizes:
+        delta = random_edge_batch(rng, work, size)
+        inc.apply(work, state, delta)
+        assert dict(state.values) == oracle_cc(work)
+
+
+@given(scenario)
+def test_incsim_equals_batch_rerun(params):
+    n, m, directed, seed, batch_sizes = params
+    rng = random.Random(seed)
+    g = random_graph(rng, n, m, directed, labels=["a", "b", "c"])
+    pattern = random_pattern(g, num_nodes=3, num_edges=3, seed=seed % 1000)
+    batch = Simfp()
+    state = batch.run(g.copy(), pattern)
+    inc = IncSim()
+    work = g.copy()
+    for size in batch_sizes:
+        delta = random_edge_batch(rng, work, size)
+        inc.apply(work, state, delta, pattern)
+        assert batch.answer(state, work, pattern) == oracle_sim(work, pattern)
+
+
+@given(scenario)
+def test_incdfs_equals_batch_rerun(params):
+    n, m, directed, seed, batch_sizes = params
+    rng = random.Random(seed)
+    g = random_graph(rng, n, m, directed)
+    state = DFSfp().run(g.copy())
+    inc = IncDFS()
+    work = g.copy()
+    for size in batch_sizes:
+        delta = random_edge_batch(rng, work, size)
+        inc.apply(work, state, delta)
+        assert dict(state.values) == dict(DFSfp().run(work).values)
+
+
+@given(scenario)
+def test_inclcc_equals_batch_rerun(params):
+    n, m, _directed, seed, batch_sizes = params
+    rng = random.Random(seed)
+    g = random_graph(rng, n, m, directed=False)
+    batch = LCCfp()
+    state = batch.run(g.copy())
+    inc = IncLCC()
+    work = g.copy()
+    for size in batch_sizes:
+        delta = random_edge_batch(rng, work, size)
+        inc.apply(work, state, delta)
+        assert batch.answer(state, work, None) == oracle_lcc(work)
+
+
+@given(
+    st.integers(min_value=3, max_value=14),
+    st.integers(min_value=2, max_value=30),
+    st.integers(),
+    st.integers(min_value=1, max_value=3),
+)
+def test_scope_is_bounded_by_aff(n, m, seed, batch_size):
+    """C1 empirically: H⁰ ⊆ AFF for the three min-style spec classes."""
+    from repro.algorithms.cc import CCSpec
+    from repro.algorithms.lcc import LCCSpec
+    from repro.algorithms.sssp import SSSPSpec
+
+    rng = random.Random(seed)
+    for spec, directed, query in (
+        (SSSPSpec(), True, 0),
+        (CCSpec(), False, None),
+        (LCCSpec(), False, None),
+    ):
+        g = random_graph(rng, n, m, directed, weighted=True)
+        delta = random_edge_batch(rng, g, batch_size, weighted=True)
+        report = verify_relative_boundedness(spec, g, delta, query)
+        assert report.scope_bounded, spec.name

@@ -1,0 +1,98 @@
+"""Property-based tests for auxiliary data structures (ETT, orders)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EulerTourForest
+from repro.core import BooleanOrder, IntervalOrder, MinValueOrder
+
+settings.register_profile("repro-struct", deadline=None, max_examples=40)
+settings.load_profile("repro-struct")
+
+
+@given(st.integers(), st.integers(min_value=2, max_value=20), st.integers(min_value=5, max_value=80))
+def test_euler_tour_matches_flood_fill(seed, n, operations):
+    rng = random.Random(seed)
+    forest = EulerTourForest(seed=seed)
+    for v in range(n):
+        forest.add_vertex(v)
+    tree_edges = set()
+    for _ in range(operations):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in tree_edges:
+            forest.cut(u, v)
+            tree_edges.discard(key)
+        elif not forest.connected(u, v):
+            forest.link(u, v)
+            tree_edges.add(key)
+    # Compare connectivity with a flood fill over the tracked edges.
+    adjacency = {v: set() for v in range(n)}
+    for u, v in tree_edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    component = {}
+    for v in range(n):
+        if v in component:
+            continue
+        stack, seen = [v], {v}
+        while stack:
+            x = stack.pop()
+            component[x] = v
+            for w in adjacency[x]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+    for _ in range(20):
+        a, b = rng.randrange(n), rng.randrange(n)
+        assert forest.connected(a, b) == (component[a] == component[b])
+    sample = rng.randrange(n)
+    assert forest.tree_size(sample) == sum(
+        1 for x in range(n) if component[x] == component[sample]
+    )
+    assert sorted(forest.tree_vertices(sample)) == sorted(
+        x for x in range(n) if component[x] == component[sample]
+    )
+
+
+numbers = st.one_of(st.integers(min_value=-50, max_value=50), st.just(float("inf")))
+
+
+@given(numbers, numbers, numbers)
+def test_min_value_order_is_a_total_order(a, b, c):
+    order = MinValueOrder()
+    assert order.leq(a, a)
+    assert order.leq(a, b) or order.leq(b, a)
+    if order.leq(a, b) and order.leq(b, c):
+        assert order.leq(a, c)
+    if order.leq(a, b) and order.leq(b, a):
+        assert a == b
+
+
+@given(st.booleans(), st.booleans(), st.booleans())
+def test_boolean_order_axioms(a, b, c):
+    order = BooleanOrder()
+    assert order.leq(a, a)
+    if order.leq(a, b) and order.leq(b, c):
+        assert order.leq(a, c)
+    if order.leq(a, b) and order.leq(b, a):
+        assert a == b
+
+
+interval = st.tuples(st.integers(0, 30), st.integers(0, 30)).map(
+    lambda t: (min(t), max(t) + 1)
+)
+
+
+@given(interval, interval, interval)
+def test_interval_order_is_a_partial_order(x, y, z):
+    order = IntervalOrder()
+    assert order.leq(x, x)
+    if order.leq(x, y) and order.leq(y, z):
+        assert order.leq(x, z)
+    if x != y:
+        assert not (order.lt(x, y) and order.lt(y, x))

@@ -1,0 +1,48 @@
+"""Tests for the markdown report generator."""
+
+from repro.bench.report import generate_report, render_result, write_report
+from repro.bench.tables import ExperimentResult
+
+
+def sample_result():
+    return ExperimentResult(
+        title="Figure X",
+        headers=["pct", "batch", "inc"],
+        rows=[[2.0, 0.5, 0.1], [4.0, 0.5, 0.2]],
+        notes=["paper: 10x"],
+    )
+
+
+class TestRenderResult:
+    def test_markdown_table_structure(self):
+        text = render_result(sample_result())
+        lines = text.splitlines()
+        assert lines[0] == "## Figure X"
+        assert "| pct | batch | inc |" in text
+        assert "| 2.00 | 0.5000 | 0.1000 |" in text
+        assert "*Note: paper: 10x*" in text
+
+    def test_charts_embedded_in_code_fences(self):
+        text = render_result(sample_result(), charts=True)
+        assert "```" in text
+        assert "o=batch" in text
+
+    def test_single_row_results_skip_charts(self):
+        result = sample_result()
+        result.rows = result.rows[:1]
+        assert "```" not in render_result(result, charts=True)
+
+
+class TestGenerateReport:
+    def test_with_precomputed_results(self):
+        text = generate_report(results=[sample_result()], charts=False)
+        assert text.startswith("# Reproduction run")
+        assert "## Figure X" in text
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        from repro.bench import report as report_module
+
+        monkeypatch.setattr(report_module, "run_all", lambda scale: [sample_result()])
+        path = tmp_path / "run.md"
+        write_report(path, scale=0.1)
+        assert "Figure X" in path.read_text()

@@ -1,0 +1,104 @@
+"""Tests for the dynamic SSSP baselines: RR and DynDij."""
+
+import math
+import random
+
+import pytest
+
+from oracles import oracle_sssp, random_edge_batch, random_graph
+from repro.baselines import DynDij, RRSSSP
+from repro.errors import IncrementalizationError
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, VertexDeletion, VertexInsertion, from_edges
+
+INF = math.inf
+
+
+@pytest.mark.parametrize("factory", [RRSSSP, DynDij])
+class TestDynamicSSSP:
+    def test_build_matches_oracle(self, factory):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True, weights=[1.0, 1.0, 5.0])
+        algo = factory()
+        algo.build(g, 0)
+        assert algo.answer() == {0: 0.0, 1: 1.0, 2: 2.0}
+
+    def test_apply_before_build_raises(self, factory):
+        with pytest.raises(IncrementalizationError):
+            factory().apply(Batch([EdgeInsertion(0, 1)]))
+
+    def test_insertion_improves(self, factory):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[2.0, 2.0])
+        algo = factory()
+        algo.build(g, 0)
+        algo.apply(Batch([EdgeInsertion(0, 2, weight=1.0)]))
+        assert algo.answer()[2] == 1.0
+
+    def test_nontight_deletion_is_cheap_noop(self, factory):
+        g = from_edges([(0, 1), (0, 2), (2, 1)], directed=True, weights=[1.0, 1.0, 5.0])
+        algo = factory()
+        algo.build(g, 0)
+        algo.apply(Batch([EdgeDeletion(2, 1)]))
+        assert algo.answer() == {0: 0.0, 1: 1.0, 2: 1.0}
+
+    def test_tight_deletion_reroutes(self, factory):
+        g = from_edges([(0, 1), (0, 2), (2, 1)], directed=True, weights=[5.0, 1.0, 1.0])
+        algo = factory()
+        algo.build(g, 0)
+        algo.apply(Batch([EdgeDeletion(2, 1)]))
+        assert algo.answer()[1] == 5.0
+
+    def test_deletion_disconnects(self, factory):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[1.0, 1.0])
+        algo = factory()
+        algo.build(g, 0)
+        algo.apply(Batch([EdgeDeletion(0, 1)]))
+        assert algo.answer() == {0: 0.0, 1: INF, 2: INF}
+
+    def test_vertex_updates(self, factory):
+        g = from_edges([(0, 1)], directed=True, weights=[1.0])
+        algo = factory()
+        algo.build(g, 0)
+        algo.apply(Batch([VertexInsertion(9, edges=(EdgeInsertion(1, 9, weight=2.0),))]))
+        assert algo.answer()[9] == 3.0
+        algo.apply(Batch([VertexDeletion(9)]))
+        assert 9 not in algo.answer()
+
+    def test_undirected_graphs(self, factory):
+        g = from_edges([(0, 1), (1, 2)], weights=[3.0, 4.0])
+        algo = factory()
+        algo.build(g, 0)
+        algo.apply(Batch([EdgeDeletion(0, 1), EdgeInsertion(0, 2, weight=1.0)]))
+        assert algo.answer() == {0: 0.0, 2: 1.0, 1: 5.0}
+
+    def test_random_sequences_match_oracle(self, factory):
+        rng = random.Random(47)
+        for trial in range(25):
+            directed = rng.random() < 0.5
+            g = random_graph(rng, rng.randint(3, 20), rng.randint(2, 45), directed, weighted=True)
+            algo = factory()
+            algo.build(g.copy(), 0)
+            work = g.copy()
+            for _step in range(5):
+                delta = random_edge_batch(rng, work, rng.randint(1, 4), weighted=True)
+                from repro.graph import apply_updates
+
+                apply_updates(work, delta)
+                algo.apply(delta)
+                assert algo.answer() == oracle_sssp(work, 0), f"{factory.__name__} trial {trial}"
+
+
+class TestDynDijSpecifics:
+    def test_batch_processed_at_once(self):
+        # A batch whose net effect is nil must end where it started.
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[1.0, 1.0])
+        algo = DynDij()
+        algo.build(g, 0)
+        algo.apply(Batch([EdgeDeletion(0, 1), EdgeInsertion(0, 1, weight=1.0)]))
+        assert algo.answer() == {0: 0.0, 1: 1.0, 2: 2.0}
+
+    def test_parent_pointers_form_spt(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True, weights=[1.0, 1.0, 5.0])
+        algo = DynDij()
+        algo.build(g, 0)
+        assert algo.parent[2] == 1
+        algo.apply(Batch([EdgeDeletion(1, 2)]))
+        assert algo.parent[2] == 0

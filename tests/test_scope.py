@@ -1,0 +1,110 @@
+"""Tests for the initial scope function h (Figure 4), on the paper's examples."""
+
+import math
+
+from repro.algorithms.cc import CCSpec
+from repro.algorithms.sssp import SSSPSpec
+from repro.core import initial_scope, run_batch
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, apply_updates, from_edges
+
+INF = math.inf
+
+
+class TestPaperExample4:
+    """Example 4: SSSP scope function on the Figure 2(a) graph."""
+
+    def run_h(self, paper_graph):
+        spec = SSSPSpec()
+        state = run_batch(spec, paper_graph, 0)
+        # Old fixpoint: the distances of Figure 3(a), G column.
+        assert state.values == {0: 0.0, 1: 5.0, 2: 1.0, 3: 7.0, 4: 6.0, 5: 2.0, 6: 3.0, 7: 4.0}
+        delta = Batch([EdgeDeletion(5, 6), EdgeInsertion(5, 3, weight=1.0)])
+        apply_updates(paper_graph, delta)
+        scope = initial_scope(spec, paper_graph, 0, state, delta)
+        return state, scope
+
+    def test_scope_matches_paper(self, paper_graph):
+        _state, scope = self.run_h(paper_graph)
+        # Example 4: h returns {x_3, x_6, x_7} as H⁰.
+        assert scope == {3, 6, 7}
+
+    def test_repaired_status_matches_paper(self, paper_graph):
+        state, _scope = self.run_h(paper_graph)
+        # D⁰ differs from the fixpoint only in x_6 (∞ vs 3) and x_7 (5 vs 4).
+        assert state.values[6] == INF
+        assert state.values[7] == 5.0
+        assert state.values[3] == 7.0  # feasible, untouched by repair
+        assert state.values[1] == 5.0
+
+    def test_new_fixpoint_matches_figure_3a(self, paper_graph):
+        from repro.core import run_fixpoint
+
+        spec = SSSPSpec()
+        state, scope = self.run_h(paper_graph)
+        relax = spec.relaxation_pairs(
+            Batch([EdgeInsertion(5, 3, weight=1.0)]), paper_graph, 0
+        )
+        run_fixpoint(spec, paper_graph, 0, state=state, scope=scope, relaxations=relax)
+        # Figure 3(a), G ⊕ ΔG column.
+        assert state.values == {0: 0.0, 1: 4.0, 2: 1.0, 3: 3.0, 4: 5.0, 5: 2.0, 6: 9.0, 7: 5.0}
+
+
+class TestInsertionsNeedNoRepair:
+    def test_sssp_insertion_keeps_values_feasible(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[2.0, 2.0])
+        spec = SSSPSpec()
+        state = run_batch(spec, g, 0)
+        delta = Batch([EdgeInsertion(0, 2, weight=1.0)])
+        apply_updates(g, delta)
+        snapshot = dict(state.values)
+        scope = initial_scope(spec, g, 0, state, delta)
+        # h performs no repair on pure insertions; values untouched.
+        assert dict(state.values) == snapshot
+        assert scope == {2}
+
+
+class TestCCScope:
+    def test_deletion_repairs_later_timestamped_endpoint(self):
+        # Path 0 - 1 - 2: component id 0 everywhere; deleting (0, 1)
+        # orphans {1, 2}, whose values must be raised to node ids.
+        g = from_edges([(0, 1), (1, 2)])
+        spec = CCSpec()
+        state = run_batch(spec, g, None)
+        assert state.values == {0: 0, 1: 0, 2: 0}
+        delta = Batch([EdgeDeletion(0, 1)])
+        apply_updates(g, delta)
+        scope = initial_scope(spec, g, None, state, delta)
+        assert state.values[0] == 0
+        assert state.values[1] == 1
+        assert state.values[2] in (1, 2)  # repaired upward, feasible
+        assert 1 in scope
+
+    def test_deletion_inside_cycle_stops_early(self):
+        # Cycle 0-1-2-3: deleting one edge keeps the component connected;
+        # the repair must not flood it (Example 5's improvement).
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        spec = CCSpec()
+        state = run_batch(spec, g, None)
+        delta = Batch([EdgeDeletion(0, 1)])
+        apply_updates(g, delta)
+        scope = initial_scope(spec, g, None, state, delta)
+        # At most the two endpoints plus one cascade step enter H⁰.
+        assert scope <= {0, 1, 2, 3}
+        assert len(scope) <= 3
+
+
+class TestRepairSkipForDependencyFreeSpecs:
+    def test_lcc_scope_is_seed_only(self):
+        from repro.algorithms.lcc import LCCSpec
+
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        spec = LCCSpec()
+        state = run_batch(spec, g, None)
+        before = dict(state.values)
+        delta = Batch([EdgeDeletion(0, 1)])
+        apply_updates(g, delta)
+        scope = initial_scope(spec, g, None, state, delta)
+        # No repair: values unchanged until the step function runs.
+        assert dict(state.values) == before
+        assert ("d", 0) in scope and ("d", 1) in scope
+        assert ("λ", 2) in scope

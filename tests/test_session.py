@@ -1,0 +1,113 @@
+"""Tests for the continuous-query session API."""
+
+import pytest
+
+from oracles import oracle_cc, oracle_lcc, oracle_sssp
+from repro.errors import ReproError
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, from_edges
+from repro.session import ALGORITHM_PAIRS, DynamicGraphSession
+
+
+def make_session():
+    g = from_edges([(0, 1), (1, 2), (2, 3)], weights=[1.0, 2.0, 3.0])
+    return DynamicGraphSession(g)
+
+
+class TestRegistration:
+    def test_register_runs_batch(self):
+        session = make_session()
+        session.register("distances", "SSSP", query=0)
+        assert session.answer("distances")[3] == 6.0
+
+    def test_duplicate_name_rejected(self):
+        session = make_session()
+        session.register("q", "CC")
+        with pytest.raises(ReproError):
+            session.register("q", "CC")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ReproError):
+            make_session().register("q", "PageRank")
+
+    def test_unregister(self):
+        session = make_session()
+        session.register("q", "CC")
+        session.unregister("q")
+        assert session.queries() == []
+        with pytest.raises(ReproError):
+            session.answer("q")
+
+    def test_all_builtin_pairs_register(self):
+        # Node-query algorithms on a tiny graph; Sim needs a pattern.
+        session = make_session()
+        for name in ALGORITHM_PAIRS:
+            if name == "Sim":
+                continue
+            query = 0 if name in ("SSSP", "SSWP", "Reach") else None
+            session.register(name, name, query=query)
+        assert len(session.queries()) == len(ALGORITHM_PAIRS) - 1
+
+
+class TestUpdates:
+    def test_all_queries_maintained_in_lockstep(self):
+        session = make_session()
+        session.register("sssp", "SSSP", query=0)
+        session.register("cc", "CC")
+        session.register("lcc", "LCC")
+        session.update(Batch([EdgeInsertion(0, 3, weight=1.0), EdgeDeletion(1, 2)]))
+
+        assert session.answer("sssp") == oracle_sssp(session.graph, 0)
+        assert session.answer("cc") == oracle_cc(session.graph)
+        assert session.answer("lcc") == oracle_lcc(session.graph)
+
+    def test_update_returns_delta_o_per_query(self):
+        session = make_session()
+        session.register("sssp", "SSSP", query=0)
+        results = session.update(Batch([EdgeInsertion(0, 3, weight=1.0)]))
+        assert results["sssp"].changes == {3: (6.0, 1.0)}
+
+    def test_plain_update_lists_accepted(self):
+        session = make_session()
+        session.register("cc", "CC")
+        session.update([EdgeDeletion(1, 2)])
+        assert session.answer("cc")[3] == 2
+
+    def test_batches_applied_counter(self):
+        session = make_session()
+        session.update(Batch([EdgeInsertion(0, 2)]))
+        session.update(Batch([EdgeDeletion(0, 2)]))
+        assert session.batches_applied == 2
+
+    def test_repeated_updates_stay_consistent(self):
+        session = make_session()
+        session.register("sssp", "SSSP", query=0)
+        session.register("coreness", "Coreness")
+        for delta in (
+            Batch([EdgeInsertion(0, 2, weight=1.0)]),
+            Batch([EdgeDeletion(1, 2), EdgeInsertion(1, 3, weight=4.0)]),
+            Batch([EdgeDeletion(0, 2)]),
+        ):
+            session.update(delta)
+        assert session.answer("sssp") == oracle_sssp(session.graph, 0)
+
+
+class TestListeners:
+    def test_listener_receives_results(self):
+        session = make_session()
+        events = []
+        session.register("cc", "CC", listener=lambda name, result: events.append((name, len(result.changes))))
+        session.update(Batch([EdgeDeletion(1, 2)]))
+        assert events == [("cc", 2)]
+
+    def test_subscribe_after_registration(self):
+        session = make_session()
+        session.register("sssp", "SSSP", query=0)
+        seen = []
+        session.subscribe("sssp", lambda name, result: seen.append(name))
+        session.update(Batch([EdgeInsertion(0, 3, weight=0.5)]))
+        assert seen == ["sssp"]
+
+    def test_repr(self):
+        session = make_session()
+        session.register("cc", "CC")
+        assert "cc" in repr(session)

@@ -1,0 +1,155 @@
+"""Tests for graph simulation: Sim_fp and the weakly deducible IncSim."""
+
+import random
+
+from oracles import oracle_sim, random_edge_batch, random_graph
+from repro import IncSim, Simfp, sim
+from repro.generators import random_pattern
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, Graph, VertexInsertion
+
+
+def labeled_path(labels, directed=True):
+    g = Graph(directed=directed)
+    for i, label in enumerate(labels):
+        g.ensure_node(i, label=label)
+    for i in range(len(labels) - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def pattern_edge(la, lb):
+    q = Graph(directed=True)
+    q.add_node("x", label=la)
+    q.add_node("y", label=lb)
+    q.add_edge("x", "y")
+    return q
+
+
+class TestBatch:
+    def test_single_edge_pattern(self):
+        g = labeled_path(["a", "b", "a", "b"])
+        q = pattern_edge("a", "b")
+        assert sim(g, q) == {(0, "x"), (2, "x"), (1, "y"), (3, "y")}
+
+    def test_dangling_match_is_pruned(self):
+        # The final 'a' has no outgoing 'b', so it cannot match x.
+        g = labeled_path(["a", "b", "a"])
+        q = pattern_edge("a", "b")
+        assert (2, "x") not in sim(g, q)
+        assert (0, "x") in sim(g, q)
+
+    def test_cyclic_pattern_on_cycle(self):
+        g = Graph(directed=True)
+        for i, label in enumerate(["b", "c"]):
+            g.ensure_node(i, label=label)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        q = Graph(directed=True)
+        q.add_node("u", label="b")
+        q.add_node("w", label="c")
+        q.add_edge("u", "w")
+        q.add_edge("w", "u")
+        assert sim(g, q) == {(0, "u"), (1, "w")}
+
+    def test_cyclic_pattern_on_path_fails(self):
+        g = labeled_path(["b", "c"])
+        q = Graph(directed=True)
+        q.add_node("u", label="b")
+        q.add_node("w", label="c")
+        q.add_edge("u", "w")
+        q.add_edge("w", "u")
+        assert sim(g, q) == set()
+
+    def test_sink_pattern_nodes_match_without_tails(self):
+        # 'y' has no out-edges in the pattern, so every 'a' node matches
+        # it even though nothing matches 'x' — the maximum simulation is
+        # defined per pair, not per full pattern embedding.
+        g = labeled_path(["a", "a"])
+        assert sim(g, pattern_edge("z", "a")) == {(0, "y"), (1, "y")}
+
+    def test_matches_oracle_on_random_inputs(self):
+        rng = random.Random(23)
+        for trial in range(20):
+            g = random_graph(rng, rng.randint(2, 15), rng.randint(0, 35), directed=True, labels=["a", "b", "c"])
+            q = random_pattern(g, num_nodes=rng.randint(1, 4), num_edges=rng.randint(0, 4) or 1, seed=trial) \
+                if False else random_pattern(g, num_nodes=3, num_edges=3, seed=trial)
+            assert sim(g, q) == oracle_sim(g, q), f"trial {trial}"
+
+
+class TestIncremental:
+    def setup_pair(self, graph, pattern):
+        batch = Simfp()
+        state = batch.run(graph, pattern)
+        return batch, IncSim(), state
+
+    def test_insertion_resurrects_match(self):
+        g = labeled_path(["a", "b"])
+        g.ensure_node(2, label="a")  # isolated 'a': initially no match
+        q = pattern_edge("a", "b")
+        batch, inc, state = self.setup_pair(g, q)
+        assert (2, "x") not in batch.answer(state, g, q)
+        result = inc.apply(g, state, Batch([EdgeInsertion(2, 1)]), q)
+        assert (2, "x") in batch.answer(state, g, q)
+        assert result.changes[(2, "x")] == (False, True)
+
+    def test_deletion_retracts_match_chain(self):
+        # b→c→b→c chain against the 2-cycle pattern: removing one edge
+        # retracts everything (the chain no longer simulates the cycle).
+        g = Graph(directed=True)
+        for i, label in enumerate(["b", "c", "b", "c"]):
+            g.ensure_node(i, label=label)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        g.add_edge(3, 2)  # closing 2-cycle at the end keeps it alive
+        q = Graph(directed=True)
+        q.add_node("u", label="b")
+        q.add_node("w", label="c")
+        q.add_edge("u", "w")
+        q.add_edge("w", "u")
+        batch, inc, state = self.setup_pair(g, q)
+        assert (0, "u") in batch.answer(state, g, q)
+        inc.apply(g, state, Batch([EdgeDeletion(3, 2)]), q)
+        assert batch.answer(state, g, q) == set()
+
+    def test_example6_style_resurrection(self, paper_pattern):
+        # A 'b' node whose only way into the b/c cycle is a new edge.
+        g = Graph(directed=True)
+        g.ensure_node(5, label="b")
+        g.ensure_node(6, label="c")
+        g.ensure_node(7, label="b")
+        g.add_edge(6, 7)
+        g.add_edge(7, 6)
+        batch, inc, state = self.setup_pair(g, paper_pattern)
+        assert (5, "u_b") not in batch.answer(state, g, paper_pattern)
+        inc.apply(g, state, Batch([EdgeInsertion(5, 6)]), paper_pattern)
+        assert (5, "u_b") in batch.answer(state, g, paper_pattern)
+
+    def test_vertex_insertion_creates_variables(self):
+        g = labeled_path(["a", "b"])
+        q = pattern_edge("a", "b")
+        batch, inc, state = self.setup_pair(g, q)
+        vi = VertexInsertion(9, label="a", edges=(EdgeInsertion(9, 1),))
+        inc.apply(g, state, Batch([vi]), q)
+        assert (9, "x") in batch.answer(state, g, q)
+
+    def test_mixed_batches_match_oracle(self):
+        rng = random.Random(29)
+        for trial in range(25):
+            directed = rng.random() < 0.5
+            g = random_graph(rng, rng.randint(3, 14), rng.randint(2, 30), directed, labels=["a", "b", "c"])
+            q = random_pattern(g, num_nodes=3, num_edges=3, seed=trial)
+            batch, inc, state = self.setup_pair(g.copy(), q)
+            work = g.copy()
+            for _step in range(4):
+                delta = random_edge_batch(rng, work, rng.randint(1, 4))
+                inc.apply(work, state, delta, q)
+                assert batch.answer(state, work, q) == oracle_sim(work, q), f"trial {trial}"
+
+    def test_timestamps_survive_repeated_batches(self):
+        g = labeled_path(["a", "b", "a", "b"])
+        q = pattern_edge("a", "b")
+        batch, inc, state = self.setup_pair(g, q)
+        inc.apply(g, state, Batch([EdgeDeletion(0, 1)]), q)
+        inc.apply(g, state, Batch([EdgeInsertion(0, 3)]), q)
+        inc.apply(g, state, Batch([EdgeDeletion(2, 3)]), q)
+        assert batch.answer(state, g, q) == oracle_sim(g, q)

@@ -1,0 +1,129 @@
+"""Tests for SSSP: Dijkstra-as-fixpoint and IncSSSP."""
+
+import math
+import random
+
+import pytest
+
+from oracles import oracle_sssp, random_edge_batch, random_graph
+from repro import Dijkstra, IncSSSP, sssp
+from repro.errors import NodeNotFoundError
+from repro.graph import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    VertexDeletion,
+    VertexInsertion,
+    from_edges,
+)
+
+INF = math.inf
+
+
+class TestBatch:
+    def test_paper_example_distances(self, paper_graph):
+        assert sssp(paper_graph, 0) == {
+            0: 0.0, 1: 5.0, 2: 1.0, 3: 7.0, 4: 6.0, 5: 2.0, 6: 3.0, 7: 4.0,
+        }
+
+    def test_unreachable_nodes_stay_infinite(self):
+        g = from_edges([(0, 1)], directed=True)
+        g.add_node(9)
+        distances = sssp(g, 0)
+        assert distances[9] == INF
+
+    def test_source_not_in_graph_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            sssp(from_edges([(0, 1)]), 42)
+
+    def test_undirected_paths(self):
+        g = from_edges([(0, 1), (1, 2)], weights=[3.0, 4.0])
+        assert sssp(g, 2) == {2: 0.0, 1: 4.0, 0: 7.0}
+
+    def test_zero_weight_edges(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[0.0, 0.0])
+        assert sssp(g, 0) == {0: 0.0, 1: 0.0, 2: 0.0}
+
+    def test_matches_oracle_on_random_graphs(self):
+        rng = random.Random(3)
+        for _ in range(25):
+            g = random_graph(rng, rng.randint(2, 25), rng.randint(0, 60), rng.random() < 0.5, weighted=True)
+            assert sssp(g, 0) == oracle_sssp(g, 0)
+
+    def test_single_node_graph(self):
+        g = from_edges([], directed=True)
+        g.add_node(0)
+        assert sssp(g, 0) == {0: 0.0}
+
+
+class TestIncremental:
+    def setup_pair(self, graph, source=0):
+        batch = Dijkstra()
+        state = batch.run(graph, source)
+        return batch, IncSSSP(), state
+
+    def test_insertion_shortens_path(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[2.0, 2.0])
+        _b, inc, state = self.setup_pair(g)
+        result = inc.apply(g, state, Batch([EdgeInsertion(0, 2, weight=1.0)]), 0)
+        assert state.values[2] == 1.0
+        assert result.changes == {2: (4.0, 1.0)}
+
+    def test_deletion_reroutes(self, paper_graph):
+        _b, inc, state = self.setup_pair(paper_graph)
+        delta = Batch([EdgeDeletion(5, 6), EdgeInsertion(5, 3, weight=1.0)])
+        inc.apply(paper_graph, state, delta, 0)
+        # Figure 3(a), G ⊕ ΔG column.
+        assert state.values == {0: 0.0, 1: 4.0, 2: 1.0, 3: 3.0, 4: 5.0, 5: 2.0, 6: 9.0, 7: 5.0}
+
+    def test_deletion_disconnects(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[1.0, 1.0])
+        _b, inc, state = self.setup_pair(g)
+        inc.apply(g, state, Batch([EdgeDeletion(0, 1)]), 0)
+        assert state.values == {0: 0.0, 1: INF, 2: INF}
+
+    def test_reconnect_after_disconnect(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[1.0, 1.0])
+        _b, inc, state = self.setup_pair(g)
+        inc.apply(g, state, Batch([EdgeDeletion(0, 1)]), 0)
+        inc.apply(g, state, Batch([EdgeInsertion(0, 1, weight=5.0)]), 0)
+        assert state.values == {0: 0.0, 1: 5.0, 2: 6.0}
+
+    def test_vertex_insertion_with_edges(self):
+        g = from_edges([(0, 1)], directed=True, weights=[1.0])
+        _b, inc, state = self.setup_pair(g)
+        vi = VertexInsertion(9, edges=(EdgeInsertion(1, 9, weight=2.0),))
+        inc.apply(g, state, Batch([vi]), 0)
+        assert state.values[9] == 3.0
+
+    def test_vertex_deletion(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True, weights=[1.0, 1.0, 5.0])
+        _b, inc, state = self.setup_pair(g)
+        inc.apply(g, state, Batch([VertexDeletion(1)]), 0)
+        assert 1 not in state.values
+        assert state.values[2] == 5.0
+
+    def test_mixed_batch_equals_batch_rerun(self):
+        rng = random.Random(11)
+        for trial in range(30):
+            g = random_graph(rng, rng.randint(3, 20), rng.randint(2, 45), rng.random() < 0.5, weighted=True)
+            batch, inc, state = self.setup_pair(g.copy())
+            work = g.copy()
+            for _step in range(4):
+                delta = random_edge_batch(rng, work, rng.randint(1, 5), weighted=True)
+                inc.apply(work, state, delta, 0)
+                assert dict(state.values) == oracle_sssp(work, 0), f"trial {trial}"
+
+    def test_h_scope_within_aff(self, paper_graph):
+        from repro.algorithms.sssp import SSSPSpec
+        from repro.core import verify_relative_boundedness
+
+        delta = Batch([EdgeDeletion(5, 6), EdgeInsertion(5, 3, weight=1.0)])
+        report = verify_relative_boundedness(SSSPSpec(), paper_graph, delta, 0)
+        assert report.scope_bounded
+
+    def test_deleting_source_incident_edge(self):
+        g = from_edges([(0, 1), (0, 2), (2, 1)], directed=True, weights=[5.0, 1.0, 1.0])
+        _b, inc, state = self.setup_pair(g)
+        inc.apply(g, state, Batch([EdgeDeletion(0, 2)]), 0)
+        assert state.values == {0: 0.0, 1: 5.0, 2: INF}

@@ -1,0 +1,118 @@
+"""Tests for single-source widest paths (SSWP) — extension of Φ."""
+
+import math
+import random
+
+from oracles import random_edge_batch, random_graph
+from repro import IncSSWP, WidestPath, sswp
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, from_edges
+
+INF = math.inf
+
+
+def oracle_sswp(graph, source):
+    import heapq
+
+    width = {v: 0.0 for v in graph.nodes()}
+    if graph.has_node(source):
+        width[source] = INF
+    heap = [(-INF, source)]
+    done = set()
+    while heap:
+        negw, v = heapq.heappop(heap)
+        if v in done:
+            continue
+        done.add(v)
+        for u, capacity in graph.out_items(v):
+            candidate = min(-negw, capacity)
+            if candidate > width[u]:
+                width[u] = candidate
+                heapq.heappush(heap, (-candidate, u))
+    return width
+
+
+class TestBatch:
+    def test_bottleneck_on_path(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[5.0, 2.0])
+        assert sswp(g, 0) == {0: INF, 1: 5.0, 2: 2.0}
+
+    def test_picks_wider_route(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True, weights=[5.0, 4.0, 3.0])
+        assert sswp(g, 0)[2] == 4.0
+
+    def test_unreachable_is_zero(self):
+        g = from_edges([(0, 1)], directed=True, weights=[1.0])
+        g.add_node(9)
+        assert sswp(g, 0)[9] == 0.0
+
+    def test_matches_oracle_on_random_graphs(self):
+        rng = random.Random(83)
+        for _ in range(25):
+            g = random_graph(rng, rng.randint(2, 25), rng.randint(0, 55), rng.random() < 0.5, weighted=True)
+            assert sswp(g, 0) == oracle_sswp(g, 0)
+
+
+class TestIncremental:
+    def test_insertion_widens(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[5.0, 2.0])
+        batch, inc = WidestPath(), IncSSWP()
+        state = batch.run(g, 0)
+        result = inc.apply(g, state, Batch([EdgeInsertion(0, 2, weight=4.0)]), 0)
+        assert state.values[2] == 4.0
+        assert result.changes == {2: (2.0, 4.0)}
+
+    def test_deletion_narrows(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], directed=True, weights=[5.0, 4.0, 3.0])
+        batch, inc = WidestPath(), IncSSWP()
+        state = batch.run(g, 0)
+        inc.apply(g, state, Batch([EdgeDeletion(1, 2)]), 0)
+        assert state.values[2] == 3.0
+
+    def test_deletion_disconnects(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[5.0, 2.0])
+        batch, inc = WidestPath(), IncSSWP()
+        state = batch.run(g, 0)
+        inc.apply(g, state, Batch([EdgeDeletion(0, 1)]), 0)
+        assert state.values == {0: INF, 1: 0.0, 2: 0.0}
+
+    def test_scope_semi_bounded_by_aff_and_ties(self):
+        # Width ties and min-saturation make SSWP anchors ambiguous, so
+        # H⁰ may exceed AFF — but only along anchor-cascade chains rooted
+        # in AFF (semi-boundedness; see the module docstring): every
+        # spurious scope entry has an in-neighbor that is also in scope.
+        from repro.algorithms.sswp import SSWPSpec
+        from repro.core import compute_aff, run_batch
+        from repro.core.incremental import IncrementalAlgorithm
+
+        rng = random.Random(89)
+        for trial in range(12):
+            g = random_graph(rng, rng.randint(4, 15), rng.randint(3, 30), True, weighted=True)
+            delta = random_edge_batch(rng, g, 2, weighted=True)
+            spec = SSWPSpec()
+            aff = compute_aff(spec, g, delta, 0)
+            state = run_batch(spec, g, 0)
+            old_values = dict(state.values)
+            work = g.copy()
+            result = IncrementalAlgorithm(spec).apply(work, state, delta, 0)
+            for key in result.scope:
+                if key in aff:
+                    continue
+                pushers = set(g.in_neighbors(key))
+                if not g.directed:
+                    pushers |= set(g.neighbors(key))
+                assert pushers & result.scope, (
+                    f"trial {trial}: {key} outside AFF with no scope in-neighbor"
+                )
+
+    def test_mixed_batches_match_oracle(self):
+        rng = random.Random(97)
+        for trial in range(30):
+            directed = rng.random() < 0.5
+            g = random_graph(rng, rng.randint(3, 22), rng.randint(2, 45), directed, weighted=True)
+            batch, inc = WidestPath(), IncSSWP()
+            state = batch.run(g.copy(), 0)
+            work = g.copy()
+            for _step in range(5):
+                delta = random_edge_batch(rng, work, rng.randint(1, 5), weighted=True)
+                inc.apply(work, state, delta, 0)
+                assert dict(state.values) == oracle_sswp(work, 0), f"trial {trial}"

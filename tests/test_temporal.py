@@ -1,0 +1,108 @@
+"""Unit tests for temporal graphs (the Wiki-DE machinery)."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.graph import EdgeEvent, TemporalGraph, apply_updates
+
+
+def make_stream():
+    tg = TemporalGraph(directed=False)
+    tg.add_event(EdgeEvent(1.0, "a", "b", added=True))
+    tg.add_event(EdgeEvent(2.0, "b", "c", added=True, weight=2.5))
+    tg.add_event(EdgeEvent(3.0, "a", "b", added=False))
+    tg.add_event(EdgeEvent(4.0, "a", "c", added=True))
+    return tg
+
+
+class TestEventStream:
+    def test_events_must_be_ordered(self):
+        tg = TemporalGraph()
+        tg.add_event(EdgeEvent(5.0, 1, 2, added=True))
+        with pytest.raises(UpdateError):
+            tg.add_event(EdgeEvent(4.0, 2, 3, added=True))
+
+    def test_constructor_sorts_events(self):
+        events = [EdgeEvent(3.0, 1, 2, True), EdgeEvent(1.0, 2, 3, True)]
+        tg = TemporalGraph(events=events)
+        assert tg.num_events == 2
+        assert tg.time_span == (1.0, 3.0)
+
+    def test_time_span_of_empty_stream_raises(self):
+        with pytest.raises(UpdateError):
+            TemporalGraph().time_span
+
+    def test_as_update_conversion(self):
+        from repro.graph import EdgeDeletion, EdgeInsertion
+
+        assert isinstance(EdgeEvent(0, 1, 2, True).as_update(), EdgeInsertion)
+        assert isinstance(EdgeEvent(0, 1, 2, False).as_update(), EdgeDeletion)
+
+
+class TestSnapshot:
+    def test_snapshot_before_everything_is_empty(self):
+        assert make_stream().snapshot(0.5).num_edges == 0
+
+    def test_snapshot_midway(self):
+        g = make_stream().snapshot(2.5)
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "c")
+        assert g.weight("b", "c") == 2.5
+
+    def test_snapshot_after_removal(self):
+        g = make_stream().snapshot(3.5)
+        assert not g.has_edge("a", "b")
+        assert g.has_edge("b", "c")
+
+    def test_snapshot_tolerates_redundant_events(self):
+        tg = TemporalGraph()
+        tg.add_event(EdgeEvent(1.0, 1, 2, added=True))
+        tg.add_event(EdgeEvent(2.0, 1, 2, added=True))  # redundant
+        tg.add_event(EdgeEvent(3.0, 3, 4, added=False))  # removing absent
+        g = tg.snapshot(5.0)
+        assert g.num_edges == 1
+
+
+class TestUpdatesBetween:
+    def test_basic_window(self):
+        tg = make_stream()
+        delta = tg.updates_between(2.5, 4.5)
+        base = tg.snapshot(2.5)
+        apply_updates(base, delta)
+        assert base == tg.snapshot(4.5)
+
+    def test_net_effect_inside_window(self):
+        tg = TemporalGraph()
+        tg.add_event(EdgeEvent(1.0, 1, 2, added=True))
+        tg.add_event(EdgeEvent(2.0, 1, 2, added=False))
+        delta = tg.updates_between(0.0, 3.0)
+        assert delta.size == 0
+
+    def test_reversed_window_raises(self):
+        with pytest.raises(UpdateError):
+            make_stream().updates_between(3.0, 1.0)
+
+    def test_window_batches_apply_strictly(self):
+        tg = make_stream()
+        for start, end in [(0.0, 1.5), (1.5, 2.5), (2.5, 4.0)]:
+            base = tg.snapshot(start)
+            apply_updates(base, tg.updates_between(start, end))  # strict
+            assert base == tg.snapshot(end)
+
+
+class TestMonthlyBatches:
+    def test_slices_cover_whole_stream(self):
+        tg = make_stream()
+        slices = tg.monthly_batches(3)
+        assert len(slices) == 3
+        # Replaying every window from its snapshot ends at the final state.
+        snapshot, delta = slices[-1]
+        apply_updates(snapshot, delta)
+        assert snapshot == tg.snapshot(4.0)
+
+    def test_invalid_month_count(self):
+        with pytest.raises(UpdateError):
+            make_stream().monthly_batches(0)
+
+    def test_repr(self):
+        assert "events=4" in repr(make_stream())

@@ -1,0 +1,61 @@
+"""Tests for the IncX_n one-unit-at-a-time wrapper."""
+
+import random
+
+from oracles import oracle_sssp, random_edge_batch, random_graph
+from repro import Dijkstra, IncSSSP
+from repro.baselines import UnitLoop
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, from_edges
+
+
+def prepared(graph, source=0):
+    state = Dijkstra().run(graph, source)
+    return UnitLoop(IncSSSP()), state
+
+
+class TestUnitLoop:
+    def test_name_suffix(self):
+        assert UnitLoop(IncSSSP()).name == "IncSSSP_n"
+
+    def test_result_equals_batch_application(self):
+        rng = random.Random(79)
+        for trial in range(20):
+            g = random_graph(rng, rng.randint(3, 18), rng.randint(2, 36), rng.random() < 0.5, weighted=True)
+            loop, state = prepared(g.copy())
+            work = g.copy()
+            delta = random_edge_batch(rng, work, rng.randint(2, 6), weighted=True)
+            loop.apply(work, state, delta, 0)
+            assert dict(state.values) == oracle_sssp(work, 0), f"trial {trial}"
+
+    def test_changes_merged_across_units(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[2.0, 2.0])
+        loop, state = prepared(g.copy())
+        work = g.copy()
+        delta = Batch([EdgeInsertion(0, 2, weight=1.5), EdgeInsertion(0, 2, weight=1.5).inverted()])
+        result = loop.apply(work, state, delta, 0)
+        # insert then delete: node 2 ends where it started — net no-op.
+        assert result.changes == {}
+
+    def test_net_change_uses_first_old_value(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[2.0, 2.0])
+        loop, state = prepared(g.copy())
+        work = g.copy()
+        delta = Batch([EdgeInsertion(0, 2, weight=3.0), EdgeDeletion(0, 2), EdgeInsertion(0, 2, weight=1.0)])
+        result = loop.apply(work, state, delta, 0)
+        assert result.changes == {2: (4.0, 1.0)}
+
+    def test_counters_accumulate(self):
+        g = from_edges([(0, 1), (1, 2)], directed=True, weights=[1.0, 1.0])
+        loop, state = prepared(g.copy())
+        work = g.copy()
+        delta = Batch([EdgeDeletion(0, 1), EdgeInsertion(0, 1, weight=2.0)])
+        result = loop.apply(work, state, delta, 0, measure=True)
+        assert result.total_accesses > 0
+
+    def test_scope_union(self):
+        g = from_edges([(0, 1), (2, 3)], directed=True, weights=[1.0, 1.0])
+        loop, state = prepared(g.copy())
+        work = g.copy()
+        delta = Batch([EdgeDeletion(0, 1), EdgeDeletion(2, 3)])
+        result = loop.apply(work, state, delta, 0)
+        assert {1, 3} <= result.scope

@@ -1,0 +1,203 @@
+"""Unit tests for the update model ΔG."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.graph import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    Graph,
+    VertexDeletion,
+    VertexInsertion,
+    apply_updates,
+    from_edges,
+    updated_copy,
+)
+
+
+class TestUnitUpdates:
+    def test_edge_insertion_inverts_to_deletion(self):
+        ins = EdgeInsertion(1, 2, weight=3.0)
+        assert ins.inverted() == EdgeDeletion(1, 2)
+        assert ins.touched() == (1, 2)
+
+    def test_edge_deletion_inverts_to_insertion(self):
+        assert EdgeDeletion(1, 2).inverted() == EdgeInsertion(1, 2)
+
+    def test_vertex_insertion_touches_edge_endpoints(self):
+        vi = VertexInsertion(9, edges=(EdgeInsertion(1, 9),))
+        assert set(vi.touched()) == {9, 1}
+        assert vi.inverted() == VertexDeletion(9)
+
+
+class TestBatch:
+    def test_collection_protocol(self):
+        batch = Batch([EdgeInsertion(0, 1)])
+        batch.append(EdgeDeletion(2, 3))
+        batch.extend([EdgeInsertion(4, 5)])
+        assert len(batch) == batch.size == 3
+        assert batch[0] == EdgeInsertion(0, 1)
+        assert list(batch)[1] == EdgeDeletion(2, 3)
+
+    def test_split_by_kind(self):
+        batch = Batch([EdgeInsertion(0, 1), EdgeDeletion(2, 3), VertexInsertion(9)])
+        assert batch.insertions().size == 2
+        assert batch.deletions().size == 1
+
+    def test_touched_nodes(self):
+        batch = Batch([EdgeInsertion(0, 1), VertexDeletion(7)])
+        assert batch.touched_nodes() == {0, 1, 7}
+
+    def test_unit_batches(self):
+        batch = Batch([EdgeInsertion(0, 1), EdgeDeletion(2, 3)])
+        units = list(batch.unit_batches())
+        assert [u.size for u in units] == [1, 1]
+        assert units[1][0] == EdgeDeletion(2, 3)
+
+    def test_inverted_reverses_order(self):
+        batch = Batch([EdgeInsertion(0, 1), EdgeDeletion(2, 3)])
+        inv = batch.inverted()
+        assert inv.updates == [EdgeInsertion(2, 3), EdgeDeletion(0, 1)]
+
+    def test_inverted_vertex_deletion_raises(self):
+        with pytest.raises(UpdateError):
+            Batch([VertexDeletion(1)]).inverted()
+
+    def test_apply_then_inverse_roundtrip(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        original = g.copy()
+        batch = Batch([EdgeDeletion(1, 2), EdgeInsertion(0, 3)])
+        apply_updates(g, batch)
+        apply_updates(g, batch.inverted())
+        assert g == original
+
+    def test_normalized_cancels_opposites(self):
+        batch = Batch(
+            [
+                EdgeInsertion(0, 1),
+                EdgeDeletion(0, 1),
+                EdgeDeletion(2, 3),
+                EdgeInsertion(2, 3),
+                EdgeInsertion(4, 5),
+            ]
+        )
+        net = batch.normalized()
+        assert net.updates == [EdgeInsertion(4, 5)]
+
+    def test_normalized_undirected_canonicalizes_endpoints(self):
+        batch = Batch([EdgeInsertion(0, 1), EdgeDeletion(1, 0)])
+        assert batch.normalized(directed=False).updates == []
+        # With directed semantics the two ops touch different edges.
+        assert len(batch.normalized(directed=True)) == 2
+
+    def test_normalized_keeps_last_of_same_kind(self):
+        batch = Batch([EdgeInsertion(0, 1, weight=1.0), EdgeInsertion(0, 1, weight=2.0)])
+        net = batch.normalized()
+        assert len(net) == 1
+        assert net[0].weight == 2.0
+
+    def test_repr_shows_mix(self):
+        r = repr(Batch([EdgeInsertion(0, 1), EdgeDeletion(1, 2)]))
+        assert "+1" in r and "-1" in r
+
+
+class TestApplyUpdates:
+    def test_apply_mutates_in_place(self):
+        g = from_edges([(0, 1)])
+        out = apply_updates(g, Batch([EdgeInsertion(1, 2)]))
+        assert out is g
+        assert g.has_edge(1, 2)
+
+    def test_updated_copy_leaves_original(self):
+        g = from_edges([(0, 1)])
+        h = updated_copy(g, Batch([EdgeDeletion(0, 1)]))
+        assert g.has_edge(0, 1)
+        assert not h.has_edge(0, 1)
+
+    def test_strict_conflicts_raise(self):
+        g = from_edges([(0, 1)])
+        with pytest.raises(UpdateError):
+            apply_updates(g, Batch([EdgeInsertion(0, 1)]))
+        with pytest.raises(UpdateError):
+            apply_updates(g, Batch([EdgeDeletion(5, 6)]))
+        with pytest.raises(UpdateError):
+            apply_updates(g, Batch([VertexDeletion(99)]))
+
+    def test_non_strict_skips_conflicts(self):
+        g = from_edges([(0, 1)])
+        apply_updates(g, Batch([EdgeInsertion(0, 1), EdgeDeletion(5, 6)]), strict=False)
+        assert g.num_edges == 1
+
+    def test_vertex_insertion_with_edges(self):
+        g = from_edges([(0, 1)])
+        vi = VertexInsertion(9, label="new", edges=(EdgeInsertion(0, 9, weight=2.0),))
+        apply_updates(g, Batch([vi]))
+        assert g.node_label(9) == "new"
+        assert g.weight(0, 9) == 2.0
+
+    def test_vertex_deletion_drops_edges(self):
+        g = from_edges([(0, 1), (1, 2)])
+        apply_updates(g, Batch([VertexDeletion(1)]))
+        assert g.num_edges == 0
+
+    def test_insertion_weight_and_label_applied(self):
+        g = Graph(directed=True)
+        g.ensure_node(0)
+        g.ensure_node(1)
+        apply_updates(g, Batch([EdgeInsertion(0, 1, weight=7.0, label="road")]))
+        assert g.weight(0, 1) == 7.0
+        assert g.edge_label(0, 1) == "road"
+
+
+class TestExpanded:
+    def test_vertex_deletion_expands_to_edge_deletions(self):
+        g = from_edges([(0, 1), (1, 2), (3, 1)], directed=True)
+        expanded = Batch([VertexDeletion(1)]).expanded(g)
+        deletions = {(u.u, u.v) for u in expanded if isinstance(u, EdgeDeletion)}
+        assert deletions == {(1, 2), (3, 1), (0, 1)}
+        assert isinstance(expanded.updates[-1], VertexDeletion)
+
+    def test_vertex_deletion_expansion_undirected(self):
+        g = from_edges([(0, 1), (1, 2)])
+        expanded = Batch([VertexDeletion(1)]).expanded(g)
+        deletions = {frozenset((u.u, u.v)) for u in expanded if isinstance(u, EdgeDeletion)}
+        assert deletions == {frozenset((0, 1)), frozenset((1, 2))}
+
+    def test_vertex_insertion_expands_edges(self):
+        g = Graph()
+        g.ensure_node(0)
+        vi = VertexInsertion(5, edges=(EdgeInsertion(0, 5),))
+        expanded = Batch([vi]).expanded(g)
+        kinds = [type(u).__name__ for u in expanded]
+        assert kinds == ["VertexInsertion", "EdgeInsertion"]
+        assert expanded[0].edges == ()
+
+    def test_implicitly_created_endpoints_become_vertex_insertions(self):
+        g = from_edges([(0, 1)])
+        expanded = Batch([EdgeInsertion(0, 7)]).expanded(g)
+        assert expanded.updates[0] == VertexInsertion(7)
+        assert isinstance(expanded.updates[1], EdgeInsertion)
+
+    def test_expansion_respects_sequence_for_reinserted_nodes(self):
+        g = from_edges([(0, 1)])
+        batch = Batch([VertexDeletion(1), EdgeInsertion(0, 1)])
+        expanded = batch.expanded(g)
+        kinds = [type(u).__name__ for u in expanded]
+        # delete edge (0,1), delete node 1, re-create node 1, insert edge
+        assert kinds == ["EdgeDeletion", "VertexDeletion", "VertexInsertion", "EdgeInsertion"]
+
+    def test_expanded_applies_cleanly(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        batch = Batch([VertexDeletion(1), EdgeInsertion(2, 9), VertexInsertion(10)])
+        expanded = batch.expanded(g)
+        apply_updates(g, expanded)
+        assert not g.has_node(1)
+        assert g.has_edge(2, 9)
+        assert g.has_node(10)
+
+    def test_expansion_does_not_mutate_source_graph(self):
+        g = from_edges([(0, 1)])
+        before = g.copy()
+        Batch([VertexDeletion(0), EdgeInsertion(5, 6)]).expanded(g)
+        assert g == before
