@@ -70,6 +70,10 @@ class CCSpec(FixpointSpec):
     def dependents(self, key: Node, graph: Graph, query: Any) -> Iterable[Node]:
         return graph.neighbors(key)
 
+    def input_keys(self, key: Node, graph: Graph, query: Any) -> Iterable[Node]:
+        # Y_{x_v} = neighbor component ids (the own id is a constant).
+        return graph.neighbors(key)
+
     def edge_candidate(self, dep: Node, cause: Node, cause_value, graph: Graph, query: Any):
         return cause_value  # component ids flow over edges unchanged
 

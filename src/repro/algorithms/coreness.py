@@ -80,6 +80,10 @@ class CorenessSpec(FixpointSpec):
     def dependents(self, key: Node, graph: Graph, query: Any) -> Iterable[Node]:
         return (w for w in graph.neighbors(key) if w != key)
 
+    def input_keys(self, key: Node, graph: Graph, query: Any) -> Iterable[Node]:
+        # Y_{x_v} = neighbor corenesses (self-loops contribute nothing).
+        return (w for w in graph.neighbors(key) if w != key)
+
     # FIFO scheduling; H-index evaluation is not a per-edge min, so the
     # push engine does not apply.
 

@@ -94,6 +94,10 @@ class LCCSpec(FixpointSpec):
         # changes never propagate through the scope.
         return ()
 
+    def input_keys(self, key: Key, graph: Graph, query: Any) -> Iterable[Key]:
+        # Update functions read the graph only — Y is empty.
+        return ()
+
     # -- PE variables (Example 8) -----------------------------------------
     def changed_input_keys(self, delta: Batch, graph_new: Graph, query: Any) -> Iterable[Key]:
         # The PE variables of Example 8, tightened to the variables whose

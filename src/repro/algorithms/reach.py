@@ -67,6 +67,10 @@ class ReachSpec(FixpointSpec):
     def dependents(self, key: Node, graph: Graph, query: Node) -> Iterable[Node]:
         return graph.out_neighbors(key)
 
+    def input_keys(self, key: Node, graph: Graph, query: Node) -> Iterable[Node]:
+        # Y_{x_v} = in-neighbor reachability bits (the source reads nothing).
+        return () if key == query else graph.in_neighbors(key)
+
     def edge_candidate(self, dep: Node, cause: Node, cause_value: bool, graph: Graph, query: Node) -> bool:
         return True if dep == query else cause_value
 

@@ -85,6 +85,13 @@ class SimSpec(FixpointSpec):
             for u_prev in query.in_neighbors(u):
                 yield (v_prev, u_prev)
 
+    def input_keys(self, key: Pair, graph: Graph, query: Graph) -> Iterable[Pair]:
+        # Y_{x[v,u]} = successor pairs over data × pattern out-edges.
+        v, u = key
+        for v_next in graph.out_neighbors(v):
+            for u_next in query.out_neighbors(u):
+                yield (v_next, u_next)
+
     def initial_scope(self, graph: Graph, query: Graph) -> Iterable[Pair]:
         # Label mismatches start false and satisfy their statements; only
         # candidate matches may violate the simulation condition.

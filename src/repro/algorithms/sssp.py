@@ -76,6 +76,10 @@ class SSSPSpec(FixpointSpec):
     def dependents(self, key: Node, graph: Graph, query: Node) -> Iterable[Node]:
         return graph.out_neighbors(key)
 
+    def input_keys(self, key: Node, graph: Graph, query: Node) -> Iterable[Node]:
+        # Y_{x_v} = in-neighbor distances (the source reads nothing).
+        return () if key == query else graph.in_neighbors(key)
+
     def edge_candidate(self, dep: Node, cause: Node, cause_value: float, graph: Graph, query: Node) -> float:
         if dep == query:
             return 0.0  # the source's statement is constant

@@ -63,6 +63,11 @@ class SSWPSpec(FixpointSpec):
     order = MaxValueOrder()
     uses_timestamps = False
     supports_push = True  # f is the ⪯-min (numeric max) of edge candidates
+    # C1 is only *semi*-bounded for SSWP: min(x, capacity) ties across
+    # bottleneck-sharing paths and saturates, so H⁰ may exceed AFF along
+    # anchor-cascade chains (see the module docstring).  IncSSWP stays
+    # exactly correct; we waive the strict-boundedness lint rule.
+    lint_suppress = frozenset({"scope-unbounded"})
 
     # -- model ----------------------------------------------------------
     def variables(self, graph: Graph, query: Node) -> Iterable[Node]:
@@ -83,6 +88,10 @@ class SSWPSpec(FixpointSpec):
 
     def dependents(self, key: Node, graph: Graph, query: Node) -> Iterable[Node]:
         return graph.out_neighbors(key)
+
+    def input_keys(self, key: Node, graph: Graph, query: Node) -> Iterable[Node]:
+        # Y_{x_v} = in-neighbor widths (the source reads nothing).
+        return () if key == query else graph.in_neighbors(key)
 
     def edge_candidate(self, dep: Node, cause: Node, cause_value: float, graph: Graph, query: Node) -> float:
         if dep == query:

@@ -191,6 +191,32 @@ def cmd_inc(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .lint import builtin_specs, lint_specs
+    from .lint.rules import get as get_rule
+
+    specs = builtin_specs()
+    if args.spec:
+        wanted = {s.lower() for s in args.spec}
+        specs = [s for s in specs if s.name.lower() in wanted]
+        known = {s.name.lower() for s in builtin_specs()}
+        unknown = sorted(wanted - known)
+        if unknown:
+            names = ", ".join(s.name for s in builtin_specs())
+            raise ReproError(f"unknown spec(s) {', '.join(unknown)}; available: {names}")
+    try:
+        disabled = [get_rule(ref).id for ref in args.disable or ()]
+    except KeyError as exc:
+        raise ReproError(str(exc.args[0])) from None
+
+    report = lint_specs(specs, semantic=args.semantic, disabled=disabled)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text(verbose=args.verbose))
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -224,6 +250,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_inc.add_argument("--source", help="source node (SSSP/SSWP/Reach)")
     p_inc.add_argument("--pattern", help="pattern file for Sim (labeled edge list)")
     p_inc.set_defaults(func=cmd_inc)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="verify FixpointSpec contracts (C1/C2, anchors, push-mode)",
+        description=(
+            "Check every built-in fixpoint spec against the framework's "
+            "applicability conditions: a structural pass over the spec "
+            "source (purity, declared reads, capability flags) and — with "
+            "--semantic — an executed contract pass on small seeded "
+            "workloads (contraction, monotonicity, anchor soundness, "
+            "H0 ⊆ AFF, incremental/batch agreement).  Exits 1 when an "
+            "unsuppressed error finding remains."
+        ),
+    )
+    p_lint.add_argument(
+        "--spec",
+        action="append",
+        metavar="NAME",
+        help="lint only this spec (repeatable); default: all built-ins",
+    )
+    p_lint.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also run the executed contract checks (slower)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    p_lint.add_argument(
+        "--disable",
+        action="append",
+        metavar="RULE",
+        help="suppress a rule by id or name (repeatable), e.g. S006 or "
+        "nondeterministic-update",
+    )
+    p_lint.add_argument(
+        "--verbose", action="store_true", help="show suppressed findings too"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -65,6 +65,12 @@ class FixpointSpec(ABC):
     #: relaxing one dependent per edge like Dijkstra — instead of
     #: re-pulling whole input sets, which matters on high-degree hubs.
     supports_push: bool = False
+    #: Lint rules (ids or names, see :mod:`repro.lint.rules`) that this
+    #: spec deliberately opts out of.  Suppressions are a public admission
+    #: — each one should carry a comment citing why the contract is waived
+    #: (e.g. SSWP waives ``scope-unbounded``: its ``min``-saturating update
+    #: function is only *semi*-bounded, see the module docstring there).
+    lint_suppress: frozenset = frozenset()
 
     # ------------------------------------------------------------------
     # Model hooks: Ψ_A, x^⊥, f_{x_i}, Y_{x_i}, scheduling
@@ -93,6 +99,21 @@ class FixpointSpec(ABC):
         When ``x_i`` changes, these are added to the scope ``H`` by the
         step function.
         """
+
+    def input_keys(self, key: Key, graph: Graph, query: Any) -> Optional[Iterable[Key]]:
+        """Enumerate the input set ``Y_{x_i}`` of :meth:`update` explicitly.
+
+        The forward image of :meth:`dependents`: ``y ∈ input_keys(x)`` iff
+        ``x ∈ dependents(y)``.  Declaring it (a superset is fine) lets
+        :mod:`repro.lint` verify two C1 preconditions that the framework
+        otherwise has to trust — that ``update`` reads no undeclared
+        status variables, and that :meth:`changed_input_keys` really
+        covers every variable whose input set evolved under ``ΔG``.
+
+        Return ``None`` (the default) to leave the input set implicit;
+        the corresponding lint rules are then skipped.
+        """
+        return None
 
     def initial_scope(self, graph: Graph, query: Any) -> Iterable[Key]:
         """``H⁰`` for the batch run — variables that may violate σ initially.

@@ -1,0 +1,46 @@
+"""``repro.lint`` — a static + semantic verifier for fixpoint specs.
+
+The framework's guarantees (Theorems 1 and 3 of the paper) are
+conditional: update functions must be pure, contracting, and monotonic;
+input sets must be declared honestly; the anchor structure must reach
+everything an update batch can invalidate.  Nothing in the type system
+enforces any of that — this package does, on two levels:
+
+* a **structural pass** (:mod:`~repro.lint.ast_checks`) reads the spec's
+  source and class shape without executing it, and
+* a **contract pass** (:mod:`~repro.lint.contracts`) executes the spec on
+  small seeded workloads and probes the algebraic side-conditions.
+
+Run it from the CLI as ``repro lint [--semantic]`` or programmatically::
+
+    from repro.lint import lint_specs
+    report = lint_specs(semantic=True)
+    assert report.clean, report.render_text()
+"""
+
+from .ast_checks import check_spec_structure
+from .contracts import ContractOptions, Workload, check_spec_contracts
+from .report import LintFinding, LintReport
+from .rules import CONTRACT, ERROR, INFO, RULES, STRUCTURAL, WARNING, Rule
+from .runner import builtin_specs, default_options, default_workloads, lint_spec, lint_specs
+
+__all__ = [
+    "CONTRACT",
+    "ContractOptions",
+    "ERROR",
+    "INFO",
+    "LintFinding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "STRUCTURAL",
+    "WARNING",
+    "Workload",
+    "builtin_specs",
+    "check_spec_contracts",
+    "check_spec_structure",
+    "default_options",
+    "default_workloads",
+    "lint_spec",
+    "lint_specs",
+]

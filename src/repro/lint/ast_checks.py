@@ -1,0 +1,379 @@
+"""Structural verification of ``FixpointSpec`` subclasses.
+
+These checks never execute the spec: they parse its source with
+:mod:`ast` and inspect the class object.  They enforce the *syntactic*
+half of the framework's applicability conditions:
+
+* update functions are pure — no mutation of the graph/pattern/batch
+  arguments, no nondeterministic builtins (S001, S006);
+* every status-variable read inside ``update`` is accounted for — the
+  key flows from the graph/query accessors, the variable's own key, or
+  the declared ``input_keys`` (S002);
+* the declared capabilities are internally consistent — push mode has an
+  ``edge_candidate``, the timestamp flag matches how ``order_key``
+  derives ``<_C``, and specs relying on the generic scope function
+  define the anchor hooks (S003, S004, S005, S007).
+
+The taint analysis behind S002 is deliberately conservative: a name is a
+legitimate *key source* if it is the update's key parameter, was unpacked
+from one, or was bound by iterating/assigning an expression whose free
+names are all key sources or graph/query accessors.  ``value_of`` applied
+to anything else — a constant, a module global, an attribute of ``self``
+— is an undeclared input: the scope function cannot know such an input
+set evolved, so Theorem 3's boundedness argument breaks.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.spec import FixpointSpec
+from . import rules
+from .report import LintFinding
+
+#: Methods of :class:`~repro.graph.graph.Graph` that mutate it.
+GRAPH_MUTATORS = frozenset({
+    "add_node", "ensure_node", "remove_node", "set_node_label",
+    "add_edge", "remove_edge", "set_weight", "set_edge_label",
+})
+#: Methods of :class:`~repro.graph.updates.Batch` (or lists) that mutate.
+BATCH_MUTATORS = frozenset({"append", "extend", "insert", "remove", "clear", "pop"})
+#: Parameter names treated as graph-like (the data graph, ``G ⊕ ΔG``,
+#: or the Sim pattern, which is itself a Graph).
+GRAPH_PARAM_NAMES = frozenset({"graph", "graph_new", "graph_old", "g", "query", "pattern"})
+#: Parameter names treated as update batches.
+BATCH_PARAM_NAMES = frozenset({"delta", "batch", "updates"})
+#: Module roots whose calls make an update function nondeterministic or
+#: time-dependent.
+NONDET_ROOTS = frozenset({"random", "time", "uuid", "os", "secrets"})
+
+
+def _spec_class_ast(spec_class) -> Optional[Tuple[ast.ClassDef, str, int]]:
+    """``(class node, source path, first line)`` or ``None`` if unavailable."""
+    try:
+        source = textwrap.dedent(inspect.getsource(spec_class))
+        path = inspect.getsourcefile(spec_class) or "<unknown>"
+        _, first_line = inspect.getsourcelines(spec_class)
+    except (OSError, TypeError):
+        return None
+    try:
+        module = ast.parse(source)
+    except SyntaxError:  # pragma: no cover - getsource returned garbage
+        return None
+    for node in module.body:
+        if isinstance(node, ast.ClassDef):
+            return node, path, first_line
+    return None
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript/call chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _target_names(target: ast.AST) -> List[str]:
+    """Plain names bound by an assignment/loop target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+def _load_names(node: ast.AST) -> Set[str]:
+    return {
+        child.id
+        for child in ast.walk(node)
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)
+    }
+
+
+class _MethodInfo:
+    """One method of the spec class plus its resolved parameter roles."""
+
+    def __init__(self, node: ast.FunctionDef) -> None:
+        self.node = node
+        self.params = [a.arg for a in node.args.args]  # includes self
+        self.graph_params = {p for p in self.params if p in GRAPH_PARAM_NAMES}
+        self.batch_params = {p for p in self.params if p in BATCH_PARAM_NAMES}
+
+
+def _collect_methods(class_node: ast.ClassDef) -> Dict[str, _MethodInfo]:
+    return {
+        node.name: _MethodInfo(node)
+        for node in class_node.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+# ----------------------------------------------------------------------
+# S001 — argument mutation
+# ----------------------------------------------------------------------
+def _check_mutation(spec_name, methods, locate) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    for method in methods.values():
+        protected = method.graph_params | method.batch_params
+        if not protected:
+            continue
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                root = _root_name(node.func.value)
+                if root in method.graph_params and node.func.attr in GRAPH_MUTATORS:
+                    findings.append(LintFinding(
+                        rules.MUTATING_UPDATE, spec_name,
+                        f"{method.node.name} calls {root}.{node.func.attr}(...): "
+                        "spec hooks must treat the graph as read-only",
+                        location=locate(node),
+                    ))
+                elif root in method.batch_params and node.func.attr in BATCH_MUTATORS:
+                    findings.append(LintFinding(
+                        rules.MUTATING_UPDATE, spec_name,
+                        f"{method.node.name} calls {root}.{node.func.attr}(...): "
+                        "spec hooks must not mutate the update batch",
+                        location=locate(node),
+                    ))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = _root_name(target)
+                        if root in protected:
+                            findings.append(LintFinding(
+                                rules.MUTATING_UPDATE, spec_name,
+                                f"{method.node.name} assigns into {root}: "
+                                "spec hooks must not mutate their arguments",
+                                location=locate(node),
+                            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# S002 — undeclared status-variable reads in update
+# ----------------------------------------------------------------------
+def _key_sources(method: _MethodInfo) -> Set[str]:
+    """Fixpoint taint pass: names that legitimately hold input keys."""
+    params = method.params
+    key_param = params[1] if len(params) > 1 else None
+    value_of_param = params[2] if len(params) > 2 else None
+    sources: Set[str] = {p for p in (key_param,) if p}
+    accessor_roots = method.graph_params | {"self"}
+
+    def expr_is_key_source(expr: ast.AST) -> bool:
+        # A call on the graph/query (any accessor) or self.input_keys
+        # yields keys; otherwise every free name must already be a source.
+        if isinstance(expr, ast.Call):
+            root = _root_name(expr.func)
+            if isinstance(expr.func, ast.Attribute) and root in accessor_roots:
+                return True
+        names = _load_names(expr)
+        return bool(names) and names <= sources | method.graph_params | {value_of_param}
+
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(method.node):
+            bound: List[str] = []
+            if isinstance(node, ast.Assign) and expr_is_key_source(node.value):
+                for target in node.targets:
+                    bound.extend(_target_names(target))
+            elif isinstance(node, ast.For) and expr_is_key_source(node.iter):
+                bound.extend(_target_names(node.target))
+            elif isinstance(node, ast.comprehension) and expr_is_key_source(node.iter):
+                bound.extend(_target_names(node.target))
+            for name in bound:
+                if name not in sources:
+                    sources.add(name)
+                    changed = True
+    return sources
+
+
+def _check_undeclared_reads(spec_name, methods, locate) -> List[LintFinding]:
+    method = methods.get("update")
+    if method is None or len(method.params) < 3:
+        return []
+    value_of_param = method.params[2]
+    sources = _key_sources(method)
+    findings: List[LintFinding] = []
+    for node in ast.walk(method.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == value_of_param
+            and node.args
+        ):
+            continue
+        arg = node.args[0]
+        names = _load_names(arg)
+        stray = sorted(names - sources)
+        literal_key = not names and not isinstance(arg, ast.Name)
+        if stray or literal_key:
+            what = (
+                f"key built from undeclared name(s) {', '.join(stray)}"
+                if stray
+                else "hard-coded key"
+            )
+            findings.append(LintFinding(
+                rules.UNDECLARED_READ, spec_name,
+                f"update reads {value_of_param}({ast.unparse(arg)}) — {what}; "
+                "inputs must come from graph/query accessors, the key, or "
+                "input_keys, or the scope function cannot track Y evolution",
+                location=locate(node),
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# S004/S005 — timestamp flag vs order_key derivation
+# ----------------------------------------------------------------------
+def _check_order_key(spec, spec_class, methods, locate) -> List[LintFinding]:
+    order_key_overridden = spec_class.order_key is not FixpointSpec.order_key
+    method = methods.get("order_key")
+    uses_ts_param = False
+    if method is not None and len(method.params) > 3:
+        uses_ts_param = method.params[3] in _load_names(method.node)
+
+    findings: List[LintFinding] = []
+    spec_name = spec.name
+    if spec.uses_timestamps:
+        if order_key_overridden and method is not None and not uses_ts_param:
+            findings.append(LintFinding(
+                rules.ORDER_KEY_IGNORES_TIMESTAMP, spec_name,
+                "uses_timestamps=True but order_key never reads its "
+                "timestamp parameter — the weakly deducible <_C must come "
+                "from the batch run's change-propagation order",
+                location=locate(method.node),
+            ))
+    elif spec.order is not None and spec.repair_with_scope_function:
+        if not order_key_overridden:
+            findings.append(LintFinding(
+                rules.VALUE_ORDER_FROM_TIMESTAMP, spec_name,
+                "declared deducible (uses_timestamps=False) but order_key is "
+                "inherited, and the default derives <_C from timestamps; "
+                "override it to read <_C off final values, or set "
+                "uses_timestamps=True",
+            ))
+        elif method is not None and uses_ts_param:
+            findings.append(LintFinding(
+                rules.VALUE_ORDER_FROM_TIMESTAMP, spec_name,
+                "declared deducible (uses_timestamps=False) but order_key "
+                "reads its timestamp parameter — deducible specs must derive "
+                "<_C from final values alone",
+                location=locate(method.node),
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# S006 — nondeterminism inside update
+# ----------------------------------------------------------------------
+def _check_nondeterminism(spec_name, methods, locate) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    for name in ("update", "edge_candidate"):
+        method = methods.get(name)
+        if method is None:
+            continue
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Call):
+                root = _root_name(node.func)
+                attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+                if root in NONDET_ROOTS and root not in method.params:
+                    findings.append(LintFinding(
+                        rules.NONDETERMINISTIC_UPDATE, spec_name,
+                        f"{name} calls {root}.{attr or '...'}(...): update "
+                        "functions must be pure in the graph and their inputs",
+                        location=locate(node),
+                    ))
+                elif attr == "popitem":
+                    findings.append(LintFinding(
+                        rules.NONDETERMINISTIC_UPDATE, spec_name,
+                        f"{name} calls .popitem(), whose choice of entry is "
+                        "arbitrary — the fixpoint may differ between runs",
+                        location=locate(node),
+                    ))
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iter_expr = node.iter
+                over_set = isinstance(iter_expr, (ast.Set, ast.SetComp)) or (
+                    isinstance(iter_expr, ast.Call)
+                    and isinstance(iter_expr.func, ast.Name)
+                    and iter_expr.func.id in ("set", "frozenset")
+                )
+                if over_set:
+                    findings.append(LintFinding(
+                        rules.NONDETERMINISTIC_UPDATE, spec_name,
+                        f"{name} iterates over a set: iteration order is "
+                        "unspecified, which can reorder writes between runs "
+                        "(harmless only if f is order-insensitive)",
+                        severity=rules.WARNING,
+                        location=locate(node if isinstance(node, ast.For) else iter_expr),
+                    ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# S003/S007 — capability reflection (no source needed)
+# ----------------------------------------------------------------------
+def _check_capabilities(spec) -> List[LintFinding]:
+    spec_class = type(spec)
+    findings: List[LintFinding] = []
+    no_candidate = spec_class.edge_candidate is FixpointSpec.edge_candidate
+    if no_candidate and spec.supports_push:
+        findings.append(LintFinding(
+            rules.PUSH_WITHOUT_CANDIDATE, spec.name,
+            "supports_push=True but edge_candidate is not overridden; the "
+            "push engine would raise on the first propagated change",
+        ))
+    if no_candidate and spec_class.relaxation_pairs is not FixpointSpec.relaxation_pairs:
+        findings.append(LintFinding(
+            rules.PUSH_WITHOUT_CANDIDATE, spec.name,
+            "relaxation_pairs is overridden but edge_candidate is not; "
+            "insertion seeds cannot be relaxed without per-edge candidates",
+        ))
+    if spec.repair_with_scope_function:
+        missing = [
+            hook
+            for hook in ("changed_input_keys", "anchor_dependents")
+            if getattr(spec_class, hook) is getattr(FixpointSpec, hook)
+        ]
+        if missing:
+            findings.append(LintFinding(
+                rules.MISSING_ANCHOR_HOOKS, spec.name,
+                f"{' and '.join(missing)} not overridden: the spec runs as a "
+                "batch algorithm but cannot be incrementalized with the "
+                "generic scope function (Figure 4)",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def check_spec_structure(spec: FixpointSpec) -> List[LintFinding]:
+    """Run every structural rule against one spec instance.
+
+    Suppression and rule filtering are applied by the runner, not here.
+    """
+    findings = _check_capabilities(spec)
+    parsed = _spec_class_ast(type(spec))
+    if parsed is None:
+        return findings  # dynamically-defined spec: AST rules not applicable
+    class_node, path, first_line = parsed
+    methods = _collect_methods(class_node)
+
+    def locate(node: ast.AST) -> str:
+        return f"{path}:{first_line + node.lineno - 1}"
+
+    findings.extend(_check_mutation(spec.name, methods, locate))
+    findings.extend(_check_undeclared_reads(spec.name, methods, locate))
+    findings.extend(_check_order_key(spec, type(spec), methods, locate))
+    findings.extend(_check_nondeterminism(spec.name, methods, locate))
+    return findings

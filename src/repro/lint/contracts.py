@@ -1,0 +1,431 @@
+"""Semantic verification of ``FixpointSpec`` contracts on tiny workloads.
+
+Where :mod:`repro.lint.ast_checks` reads the spec's source, this module
+*executes* it on small generated graphs and update batches and checks the
+algebraic side-conditions of the paper's theorems:
+
+* **C2** — the update functions are contracting (Eq. 4: a replayed batch
+  run never moves a variable upward in ``⪯``) and monotonic (raising the
+  inputs in ``⪯`` never lowers the output), and ``x^⊥`` really is a top
+  for the fixpoint (C101–C103);
+* **C1** — the anchor structure is sound: every variable the update
+  batch invalidates is reachable from the repair seeds through
+  ``anchor_dependents`` (C104), and the resulting scope satisfies
+  ``H⁰ ⊆ AFF`` (C105, via :mod:`repro.core.boundedness`);
+* the **declared input sets** are honest: ``update`` reads only declared
+  inputs (C106) and ``changed_input_keys`` covers every variable whose
+  declared input set evolved under ``ΔG`` (C107);
+* end to end, the deduced incremental run reaches the fixpoint a
+  from-scratch batch run reaches on ``G ⊕ ΔG`` (C108).
+
+A failed probe is *evidence of a bug*; a passing probe is evidence, not
+proof — the workloads are small and random (but seeded, so runs are
+reproducible).  Each check stops at the first workload that trips it, and
+any exception inside a spec hook surfaces as C109 rather than crashing
+the linter.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from ..core.boundedness import verify_relative_boundedness
+from ..core.engine import new_state, run_batch
+from ..core.incremental import IncrementalAlgorithm
+from ..core.spec import FixpointSpec
+from ..graph.graph import Graph
+from ..graph.updates import Batch, EdgeDeletion, updated_copy
+from . import rules
+from .report import LintFinding
+
+
+@dataclass
+class Workload:
+    """One ``(G, Q, ΔG)`` probe; ``delta`` must apply cleanly to ``graph``."""
+
+    graph: Graph
+    query: Any
+    delta: Batch
+    tag: str = ""
+
+
+@dataclass
+class ContractOptions:
+    """Per-spec calibration of the contract pass.
+
+    ``check_scope``/``check_divergence`` exist for specs whose generic
+    incrementalization is known not to apply (e.g. Coreness ships a
+    custom ``IncCoreness``, so C105's generic-scope replay is
+    meaningless); ``incremental_factory`` supplies the registered
+    incremental algorithm for the C108 divergence check when it is not
+    the generic one; ``anchor_deletion_only`` restricts the C104 probe to
+    deletion batches for specs whose insertions are handled outside the
+    Figure-4 repair loop.
+    """
+
+    check_scope: bool = True
+    check_divergence: bool = True
+    anchor_deletion_only: bool = False
+    incremental_factory: Optional[Callable[[], Any]] = None
+    sample: int = 40
+    seed: int = 0
+    max_eval_factor: int = 50
+
+
+def _sorted_keys(keys: Iterable) -> List:
+    return sorted(keys, key=repr)
+
+
+def _examples(keys: Iterable, limit: int = 3) -> str:
+    shown = _sorted_keys(keys)
+    suffix = ", ..." if len(shown) > limit else ""
+    return ", ".join(repr(k) for k in shown[:limit]) + suffix
+
+
+def _where(workload: Workload) -> str:
+    return f"workload {workload.tag or '?'}"
+
+
+# ----------------------------------------------------------------------
+# C101 — contraction (Eq. 4), replayed without the engine's guard
+# ----------------------------------------------------------------------
+def _check_contracting(spec, workload, options) -> List[LintFinding]:
+    """FIFO pull replay from ``D^⊥`` applying *every* differing value.
+
+    The production engine skips upward moves by design (its contracting
+    guard), which would mask exactly the violation this rule looks for —
+    so the replay applies them and reports the first one.
+    """
+    order = spec.order
+    if order is None:
+        return []
+    graph, query = workload.graph, workload.query
+    state = new_state(spec, graph, query)
+    values = state.values
+    work = deque(k for k in spec.initial_scope(graph, query) if k in values)
+    cap = options.max_eval_factor * max(len(values), 1) + 200
+    evals = 0
+    while work:
+        key = work.popleft()
+        if key not in values:
+            continue
+        evals += 1
+        if evals > cap:
+            return [LintFinding(
+                rules.NOT_CONTRACTING, spec.name,
+                f"unguarded batch replay did not reach a fixpoint within "
+                f"{cap} evaluations ({_where(workload)}); the update "
+                "functions oscillate or diverge under ⪯",
+            )]
+        new = spec.update(key, values.__getitem__, graph, query)
+        old = values[key]
+        if new == old:
+            continue
+        if not order.leq(new, old):
+            return [LintFinding(
+                rules.NOT_CONTRACTING, spec.name,
+                f"update({key!r}) moved {old!r} -> {new!r}, which is upward "
+                f"in ⪯ ({_where(workload)}); Eq. 4 requires f(Y) ⪯ x at "
+                "every step of the batch run",
+            )]
+        values[key] = new
+        work.extend(d for d in spec.dependents(key, graph, query) if d in values)
+    return []
+
+
+# ----------------------------------------------------------------------
+# C102 — monotonicity of f on its inputs
+# ----------------------------------------------------------------------
+def _check_monotonic(spec, workload, options) -> List[LintFinding]:
+    """Compare f on three pointwise-ordered assignments: final ⪯ mix ⪯ initial."""
+    order = spec.order
+    if order is None:
+        return []
+    graph, query = workload.graph, workload.query
+    final = run_batch(spec, graph, query).values
+    initial = {k: spec.initial_value(k, graph, query) for k in final}
+    rng = random.Random(options.seed)
+    mix = {k: final[k] if rng.random() < 0.5 else initial[k] for k in final}
+
+    def getter(assignment: Dict) -> Callable:
+        return lambda k: assignment.get(k, spec.initial_value(k, graph, query))
+
+    keys = _sorted_keys(final)
+    if len(keys) > options.sample:
+        keys = rng.sample(keys, options.sample)
+    for key in keys:
+        lo = spec.update(key, getter(final), graph, query)
+        mid = spec.update(key, getter(mix), graph, query)
+        hi = spec.update(key, getter(initial), graph, query)
+        for below, above, pair in ((lo, mid, "final⪯mix"), (mid, hi, "mix⪯initial")):
+            if not order.leq(below, above):
+                return [LintFinding(
+                    rules.NOT_MONOTONIC, spec.name,
+                    f"update({key!r}) is not order-preserving: inputs "
+                    f"{pair} pointwise but f gave {below!r} vs {above!r} "
+                    f"({_where(workload)}); C2 requires Y ⪯ Y' ⇒ "
+                    "f(Y) ⪯ f(Y')",
+                )]
+    return []
+
+
+# ----------------------------------------------------------------------
+# C103 — x^⊥ dominates the fixpoint
+# ----------------------------------------------------------------------
+def _check_initial_top(spec, workload, options) -> List[LintFinding]:
+    order = spec.order
+    if order is None:
+        return []
+    graph, query = workload.graph, workload.query
+    final = run_batch(spec, graph, query).values
+    bad = {
+        k
+        for k, v in final.items()
+        if not order.leq(v, spec.initial_value(k, graph, query))
+    }
+    if bad:
+        return [LintFinding(
+            rules.INITIAL_NOT_TOP, spec.name,
+            f"{len(bad)} variable(s) finished above their initial value in "
+            f"⪯ (e.g. {_examples(bad)}; {_where(workload)}); x^⊥ must be a "
+            "feasible upper bound or the contracting engine cannot start "
+            "from it",
+        )]
+    return []
+
+
+# ----------------------------------------------------------------------
+# C104 — anchor-set soundness
+# ----------------------------------------------------------------------
+def _check_anchor_sound(spec, workload, options) -> List[LintFinding]:
+    """Every ⪯-raised variable must be in the anchor closure of the seeds.
+
+    The resumed step function only *lowers* values; a variable whose new
+    fixpoint is above its old one can only be repaired by the Figure-4
+    loop, which walks ``anchor_dependents`` from ``repair_seed_keys``.
+    An unreachable raised variable means the incremental run would keep a
+    stale value.
+    """
+    order = spec.order
+    if order is None or not spec.repair_with_scope_function:
+        return []
+    graph, query = workload.graph, workload.query
+    delta = workload.delta.expanded(graph)
+    if options.anchor_deletion_only:
+        # Keep only deletions valid against the *base* graph: a batch is a
+        # stream, so a deletion of an edge inserted earlier in it would
+        # dangle once the insertions are dropped.
+        kept = [
+            u
+            for u in delta
+            if isinstance(u, EdgeDeletion) and graph.has_edge(u.u, u.v)
+        ]
+        if not kept:
+            return []
+        delta = Batch(kept)
+    graph_new = updated_copy(graph, delta)
+    state_old = run_batch(spec, graph, query)
+    state_new = run_batch(spec, graph_new, query)
+
+    raised = {
+        k
+        for k, v in state_new.values.items()
+        if k in state_old.values and not order.leq(v, state_old.values[k])
+    }
+    if not raised:
+        return []
+
+    def old_value_of(k):
+        if k in state_old.values:
+            return state_old.values[k]
+        return spec.initial_value(k, graph_new, query)
+
+    closure: Set = {
+        k for k in spec.repair_seed_keys(delta, graph_new, query) if k in state_old.values
+    }
+    frontier = list(closure)
+    while frontier:
+        x = frontier.pop()
+        for z in spec.anchor_dependents(
+            x, old_value_of, state_old.timestamp, graph_new, query
+        ):
+            if z not in closure and z in state_old.values:
+                closure.add(z)
+                frontier.append(z)
+
+    missing = raised - closure
+    if missing:
+        return [LintFinding(
+            rules.ANCHOR_UNSOUND, spec.name,
+            f"{len(missing)} variable(s) raised by ΔG are unreachable from "
+            f"the repair seeds through anchor_dependents (e.g. "
+            f"{_examples(missing)}; {_where(workload)}); the scope function "
+            "would leave them at stale, infeasible values",
+        )]
+    return []
+
+
+# ----------------------------------------------------------------------
+# C105 — H⁰ ⊆ AFF (delegates to core.boundedness)
+# ----------------------------------------------------------------------
+def _check_scope_bounded(spec, workload, options) -> List[LintFinding]:
+    if not options.check_scope or not spec.repair_with_scope_function:
+        return []
+    report = verify_relative_boundedness(
+        spec, workload.graph, workload.delta, workload.query
+    )
+    if not report.scope_bounded:
+        return [LintFinding(
+            rules.SCOPE_UNBOUNDED, spec.name,
+            f"scope function produced |H⁰|={report.scope_size} not "
+            f"contained in |AFF|={report.aff_size} ({_where(workload)}); "
+            "C1 fails, so Theorem 3 gives no boundedness guarantee",
+        )]
+    return []
+
+
+# ----------------------------------------------------------------------
+# C106 — update reads only declared inputs
+# ----------------------------------------------------------------------
+def _declares_inputs(spec, workload) -> bool:
+    graph, query = workload.graph, workload.query
+    for key in spec.variables(graph, query):
+        return spec.input_keys(key, graph, query) is not None
+    return False
+
+
+def _check_declared_inputs(spec, workload, options) -> List[LintFinding]:
+    if not _declares_inputs(spec, workload):
+        return []
+    graph, query = workload.graph, workload.query
+    final = run_batch(spec, graph, query).values
+    rng = random.Random(options.seed)
+    keys = _sorted_keys(final)
+    if len(keys) > options.sample:
+        keys = rng.sample(keys, options.sample)
+    for key in keys:
+        reads: Set = set()
+
+        def recording_value_of(k):
+            reads.add(k)
+            if k in final:
+                return final[k]
+            return spec.initial_value(k, graph, query)
+
+        spec.update(key, recording_value_of, graph, query)
+        declared = set(spec.input_keys(key, graph, query)) | {key}
+        stray = reads - declared
+        if stray:
+            return [LintFinding(
+                rules.UNDECLARED_INPUT, spec.name,
+                f"update({key!r}) read {_examples(stray)} outside its "
+                f"declared input_keys ({_where(workload)}); the scope "
+                "function cannot see changes to undeclared inputs",
+            )]
+    return []
+
+
+# ----------------------------------------------------------------------
+# C107 — changed_input_keys covers every evolved input set
+# ----------------------------------------------------------------------
+def _check_changed_inputs(spec, workload, options) -> List[LintFinding]:
+    if not _declares_inputs(spec, workload):
+        return []
+    graph, query = workload.graph, workload.query
+    delta = workload.delta.expanded(graph)
+    graph_new = updated_copy(graph, delta)
+    old_vars = set(spec.variables(graph, query))
+    new_vars = set(spec.variables(graph_new, query))
+    covered = set(spec.changed_input_keys(delta, graph_new, query))
+    evolved = set()
+    for key in old_vars & new_vars:
+        before = set(spec.input_keys(key, graph, query))
+        after = set(spec.input_keys(key, graph_new, query))
+        if before != after:
+            evolved.add(key)
+    missing = evolved - covered
+    if missing:
+        return [LintFinding(
+            rules.CHANGED_INPUTS_INCOMPLETE, spec.name,
+            f"{len(missing)} variable(s) whose declared input set evolved "
+            f"under ΔG are missing from changed_input_keys (e.g. "
+            f"{_examples(missing)}; {_where(workload)}); they would never "
+            "enter H⁰",
+        )]
+    return []
+
+
+# ----------------------------------------------------------------------
+# C108 — incremental fixpoint == from-scratch fixpoint on G ⊕ ΔG
+# ----------------------------------------------------------------------
+def _check_divergence(spec, workload, options) -> List[LintFinding]:
+    if not options.check_divergence:
+        return []
+    graph = workload.graph.copy()
+    query, delta = workload.query, workload.delta
+    state = run_batch(spec, graph, query)
+    inc = (
+        options.incremental_factory()
+        if options.incremental_factory is not None
+        else IncrementalAlgorithm(spec)
+    )
+    inc.apply(graph, state, delta, query)
+    fresh = run_batch(spec, graph, query)
+    diff = {
+        k
+        for k in set(state.values) | set(fresh.values)
+        if state.values.get(k) != fresh.values.get(k)
+    }
+    if diff:
+        return [LintFinding(
+            rules.INCREMENTAL_DIVERGENCE, spec.name,
+            f"incremental run disagrees with a from-scratch batch run on "
+            f"G ⊕ ΔG at {len(diff)} variable(s) (e.g. {_examples(diff)}; "
+            f"{_where(workload)})",
+        )]
+    return []
+
+
+_CHECKS = (
+    ("contracting", _check_contracting),
+    ("monotonic", _check_monotonic),
+    ("initial-top", _check_initial_top),
+    ("anchor-sound", _check_anchor_sound),
+    ("scope-bounded", _check_scope_bounded),
+    ("declared-inputs", _check_declared_inputs),
+    ("changed-inputs", _check_changed_inputs),
+    ("divergence", _check_divergence),
+)
+
+
+def check_spec_contracts(
+    spec: FixpointSpec,
+    workloads: List[Workload],
+    options: Optional[ContractOptions] = None,
+) -> List[LintFinding]:
+    """Run every contract check over the workloads.
+
+    Each check stops at the first workload that trips it (one finding per
+    rule keeps reports readable); exceptions inside spec hooks become
+    C109 findings instead of crashing the pass.
+    """
+    options = options or ContractOptions()
+    findings: List[LintFinding] = []
+    for check_name, check in _CHECKS:
+        for workload in workloads:
+            try:
+                produced = check(spec, workload, options)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                findings.append(LintFinding(
+                    rules.CHECK_CRASHED, spec.name,
+                    f"{check_name} check raised {type(exc).__name__}: {exc} "
+                    f"({_where(workload)})",
+                ))
+                break
+            if produced:
+                findings.extend(produced)
+                break
+    return findings

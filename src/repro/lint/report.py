@@ -1,0 +1,130 @@
+"""Structured lint findings and report rendering.
+
+A :class:`LintFinding` is one violation of one rule by one spec, carrying
+enough provenance (rule id, severity, spec name, source location) to be
+filtered, suppressed, or rendered as text or JSON.  :class:`LintReport`
+aggregates findings across specs and decides the process outcome: a run
+is *clean* when no error-severity finding survives suppression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .rules import ERROR, INFO, SEVERITIES, WARNING, Rule
+
+
+@dataclass
+class LintFinding:
+    """One rule violation.
+
+    ``severity`` defaults to the rule's; a check may downgrade it for
+    heuristic matches (e.g. set-iteration order is a warning while a
+    ``random`` call is an error under the same rule).
+    """
+
+    rule: Rule
+    spec: str
+    message: str
+    severity: str = ""
+    location: Optional[str] = None  # "path:line" of the offending source
+    suppressed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.severity:
+            self.severity = self.rule.severity
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule.id,
+            "name": self.rule.name,
+            "kind": self.rule.kind,
+            "severity": self.severity,
+            "spec": self.spec,
+            "message": self.message,
+            "location": self.location,
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        where = f" ({self.location})" if self.location else ""
+        tag = " [suppressed]" if self.suppressed else ""
+        return (
+            f"{self.severity}: {self.rule.id} {self.rule.name} "
+            f"[{self.spec}]{where}: {self.message}{tag}"
+        )
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run, plus what was checked."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+    specs_checked: List[str] = field(default_factory=list)
+    semantic: bool = False
+
+    def extend(self, findings: List[LintFinding]) -> None:
+        self.findings.extend(findings)
+
+    def active(self, severity: Optional[str] = None) -> List[LintFinding]:
+        """Unsuppressed findings, optionally filtered by severity."""
+        return [
+            f
+            for f in self.findings
+            if not f.suppressed and (severity is None or f.severity == severity)
+        ]
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        return self.active(ERROR)
+
+    @property
+    def warnings(self) -> List[LintFinding]:
+        return self.active(WARNING)
+
+    @property
+    def suppressed(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def clean(self) -> bool:
+        """No unsuppressed error-severity findings."""
+        return not self.errors
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "specs": list(self.specs_checked),
+            "semantic": self.semantic,
+            "clean": self.clean,
+            "counts": {
+                ERROR: len(self.errors),
+                WARNING: len(self.warnings),
+                INFO: len(self.active(INFO)),
+                "suppressed": len(self.suppressed),
+            },
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)
+
+    def render_text(self, verbose: bool = False) -> str:
+        """Human-readable report; ``verbose`` includes suppressed findings."""
+        lines: List[str] = []
+        shown = [f for f in self.findings if verbose or not f.suppressed]
+        severity_rank = {s: i for i, s in enumerate(SEVERITIES)}
+        shown.sort(key=lambda f: (severity_rank[f.severity], f.spec, f.rule.id))
+        lines.extend(f.render() for f in shown)
+        checked = ", ".join(self.specs_checked) or "nothing"
+        mode = "structural+contract" if self.semantic else "structural"
+        lines.append(
+            f"checked {len(self.specs_checked)} spec(s) ({checked}) [{mode}]: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)

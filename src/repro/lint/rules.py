@@ -1,0 +1,173 @@
+"""The lint rule registry.
+
+Each rule encodes one applicability condition of the paper's framework —
+a precondition of Theorem 1 (pure update functions, declared input sets)
+or of Theorem 3 (C1: correct bounded scope function; C2: contracting and
+monotonic under ``⪯``).  Rules come in two kinds:
+
+* ``structural`` — decided from the spec's source via :mod:`ast` and
+  class-level reflection (:mod:`repro.lint.ast_checks`); cheap, no
+  execution;
+* ``contract`` — decided by executing the spec on small generated
+  workloads (:mod:`repro.lint.contracts`); these are the algebraic
+  side-conditions Alvarez-Picallo et al. show fixpoint-derivative
+  correctness hinges on.
+
+Every rule is individually suppressible — globally through the
+``disabled`` argument of the runner/CLI, or per spec through the
+``FixpointSpec.lint_suppress`` class attribute (both accept ids or
+names).  A suppression is an audited waiver, not a silent skip: the
+report counts suppressed findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+#: Finding severities, most severe first.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+SEVERITIES = (ERROR, WARNING, INFO)
+
+STRUCTURAL = "structural"
+CONTRACT = "contract"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable applicability condition.
+
+    Attributes
+    ----------
+    id:
+        Stable short id (``S...`` structural, ``C...`` contract).
+    name:
+        Kebab-case mnemonic, usable anywhere the id is.
+    kind:
+        ``structural`` or ``contract``.
+    severity:
+        Default severity of findings (a finding may downgrade it).
+    summary:
+        One-line statement of the condition the rule enforces.
+    """
+
+    id: str
+    name: str
+    kind: str
+    severity: str
+    summary: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if self.kind not in (STRUCTURAL, CONTRACT):
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+
+
+RULES: Dict[str, Rule] = {}
+_BY_NAME: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.id in RULES or rule.name in _BY_NAME:
+        raise ValueError(f"duplicate lint rule {rule.id}/{rule.name}")
+    RULES[rule.id] = rule
+    _BY_NAME[rule.name] = rule
+    return rule
+
+
+def get(ref: str) -> Rule:
+    """Resolve a rule by id (``S001``) or name (``mutating-update``)."""
+    rule = RULES.get(ref) or _BY_NAME.get(ref)
+    if rule is None:
+        raise KeyError(f"unknown lint rule {ref!r}; known: {', '.join(sorted(RULES))}")
+    return rule
+
+
+def resolve_refs(refs: Optional[Iterable[str]]) -> frozenset:
+    """Normalize a mixed id/name collection to a frozenset of rule ids."""
+    if not refs:
+        return frozenset()
+    return frozenset(get(ref).id for ref in refs)
+
+
+# ----------------------------------------------------------------------
+# Structural rules (AST / reflection; see lint/ast_checks.py)
+# ----------------------------------------------------------------------
+MUTATING_UPDATE = register(Rule(
+    "S001", "mutating-update", STRUCTURAL, ERROR,
+    "spec methods must not mutate the graph, pattern, or batch they are given",
+))
+UNDECLARED_READ = register(Rule(
+    "S002", "undeclared-read", STRUCTURAL, ERROR,
+    "update may only read status variables derived from graph/query "
+    "accessors, the key itself, or input_keys",
+))
+PUSH_WITHOUT_CANDIDATE = register(Rule(
+    "S003", "push-without-edge-candidate", STRUCTURAL, ERROR,
+    "supports_push / relaxation_pairs require an overridden edge_candidate",
+))
+ORDER_KEY_IGNORES_TIMESTAMP = register(Rule(
+    "S004", "order-key-ignores-timestamp", STRUCTURAL, ERROR,
+    "uses_timestamps=True requires order_key to derive <_C from the timestamp",
+))
+VALUE_ORDER_FROM_TIMESTAMP = register(Rule(
+    "S005", "value-order-from-timestamp", STRUCTURAL, ERROR,
+    "a spec declared deducible (uses_timestamps=False) must not derive "
+    "<_C from timestamps",
+))
+NONDETERMINISTIC_UPDATE = register(Rule(
+    "S006", "nondeterministic-update", STRUCTURAL, ERROR,
+    "update must be a pure function of the graph and its declared inputs "
+    "(no random/time/popitem; set iteration order is a warning)",
+))
+MISSING_ANCHOR_HOOKS = register(Rule(
+    "S007", "missing-anchor-hooks", STRUCTURAL, WARNING,
+    "a spec using the generic scope function must override "
+    "changed_input_keys and anchor_dependents",
+))
+
+# ----------------------------------------------------------------------
+# Contract rules (executed on generated workloads; see lint/contracts.py)
+# ----------------------------------------------------------------------
+NOT_CONTRACTING = register(Rule(
+    "C101", "not-contracting", CONTRACT, ERROR,
+    "C2: replayed writes must never move a variable upward in ⪯ (Eq. 4)",
+))
+NOT_MONOTONIC = register(Rule(
+    "C102", "not-monotonic", CONTRACT, ERROR,
+    "C2: the update function must be order-preserving on its inputs",
+))
+INITIAL_NOT_TOP = register(Rule(
+    "C103", "initial-not-top", CONTRACT, ERROR,
+    "x^⊥ must dominate the fixpoint: final value ⪯ initial value",
+))
+ANCHOR_UNSOUND = register(Rule(
+    "C104", "anchor-unsound", CONTRACT, ERROR,
+    "C1: every variable invalidated by ΔG must be reachable from the "
+    "repair seeds through anchor_dependents",
+))
+SCOPE_UNBOUNDED = register(Rule(
+    "C105", "scope-unbounded", CONTRACT, ERROR,
+    "C1: the scope function must produce H⁰ ⊆ AFF",
+))
+UNDECLARED_INPUT = register(Rule(
+    "C106", "undeclared-input", CONTRACT, ERROR,
+    "update read a status variable outside the declared input_keys",
+))
+CHANGED_INPUTS_INCOMPLETE = register(Rule(
+    "C107", "changed-inputs-incomplete", CONTRACT, ERROR,
+    "changed_input_keys must cover every variable whose declared input "
+    "set evolved under ΔG",
+))
+INCREMENTAL_DIVERGENCE = register(Rule(
+    "C108", "incremental-divergence", CONTRACT, ERROR,
+    "the deduced incremental run must reach the same fixpoint as a "
+    "from-scratch batch run on G ⊕ ΔG",
+))
+CHECK_CRASHED = register(Rule(
+    "C109", "check-crashed", CONTRACT, ERROR,
+    "a spec hook raised while a contract check exercised it",
+))

@@ -1,0 +1,155 @@
+"""Spec discovery, workload profiles, and the lint entry points.
+
+``builtin_specs`` finds every :class:`FixpointSpec` subclass exported by
+:mod:`repro.algorithms`; ``lint_spec`` runs the structural pass (and,
+when asked, the contract pass) over one spec; ``lint_specs`` aggregates
+everything into a :class:`~repro.lint.report.LintReport`.
+
+Workload profiles encode what each algorithm needs to be *exercised*
+rather than trivially skipped — SSSP wants a weighted directed graph and
+a reachable source, Sim wants a labeled graph plus a pattern, Coreness
+wants deletion-only anchor probes because its insertions are handled by
+the custom subcore lift of :class:`~repro.algorithms.coreness.IncCoreness`
+rather than the Figure-4 repair loop.  A spec the profiles do not know
+gets a generic directed and undirected workload, which is enough for
+every rule to run (checks that need missing structure skip themselves).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, Iterable, List, Optional
+
+from ..core.spec import FixpointSpec
+from ..generators import (
+    assign_labels,
+    assign_weights,
+    erdos_renyi,
+    random_pattern,
+    random_updates,
+)
+from . import rules
+from .ast_checks import check_spec_structure
+from .contracts import ContractOptions, Workload, check_spec_contracts
+from .report import LintFinding, LintReport
+
+
+def builtin_specs() -> List[FixpointSpec]:
+    """One instance of every spec class exported by :mod:`repro.algorithms`."""
+    from .. import algorithms
+
+    classes = []
+    for name in dir(algorithms):
+        obj = getattr(algorithms, name)
+        if (
+            inspect.isclass(obj)
+            and issubclass(obj, FixpointSpec)
+            and obj is not FixpointSpec
+            and not inspect.isabstract(obj)
+        ):
+            classes.append(obj)
+    classes.sort(key=lambda cls: (cls.name, cls.__name__))
+    seen = set()
+    specs = []
+    for cls in classes:
+        if cls not in seen:
+            seen.add(cls)
+            specs.append(cls())
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Workload profiles
+# ----------------------------------------------------------------------
+def _directed_weighted(seed: int, tag: str) -> Workload:
+    graph = assign_weights(erdos_renyi(24, 70, directed=True, seed=seed), seed=seed)
+    return Workload(graph, 0, random_updates(graph, 8, seed=seed + 1), tag)
+
+
+def _undirected(seed: int, tag: str) -> Workload:
+    graph = erdos_renyi(22, 50, directed=False, seed=seed)
+    return Workload(graph, None, random_updates(graph, 8, seed=seed + 1), tag)
+
+
+def _labeled_with_pattern(seed: int, tag: str) -> Workload:
+    graph = assign_labels(
+        erdos_renyi(20, 55, directed=True, seed=seed), alphabet=["a", "b", "c"], seed=seed
+    )
+    pattern = random_pattern(graph, num_nodes=3, num_edges=3, seed=seed)
+    return Workload(graph, pattern, random_updates(graph, 6, seed=seed + 1), tag)
+
+
+def default_workloads(spec: FixpointSpec) -> List[Workload]:
+    """Two seeded probes shaped for the spec's query/graph requirements."""
+    name = spec.name
+    if name in ("SSSP", "SSWP", "Reach"):
+        return [_directed_weighted(3, f"{name}-a"), _directed_weighted(11, f"{name}-b")]
+    if name == "Sim":
+        return [_labeled_with_pattern(5, "Sim-a"), _labeled_with_pattern(13, "Sim-b")]
+    if name in ("CC", "LCC", "Coreness"):
+        return [_undirected(7, f"{name}-a"), _undirected(17, f"{name}-b")]
+    return [_directed_weighted(3, f"{name}-directed"), _undirected(7, f"{name}-undirected")]
+
+
+def default_options(spec: FixpointSpec) -> ContractOptions:
+    """Per-spec calibration of the contract pass (see module docstring)."""
+    if spec.name == "Coreness":
+        from ..algorithms.coreness import IncCoreness
+
+        # Insertions bypass the generic scope function (subcore lift), so
+        # the generic C105 replay does not apply; anchors repair only the
+        # deletion (coreness-lowering) direction.
+        return ContractOptions(
+            check_scope=False,
+            anchor_deletion_only=True,
+            incremental_factory=IncCoreness,
+        )
+    return ContractOptions()
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def lint_spec(
+    spec: FixpointSpec,
+    semantic: bool = False,
+    disabled: Iterable[str] = (),
+    workloads: Optional[List[Workload]] = None,
+    options: Optional[ContractOptions] = None,
+) -> List[LintFinding]:
+    """All findings for one spec, with suppressions applied (not dropped).
+
+    ``disabled`` takes rule ids or names and suppresses them globally;
+    the spec's own :attr:`~repro.core.spec.FixpointSpec.lint_suppress`
+    is honored the same way.  Suppressed findings stay in the output,
+    marked, so waivers remain visible.
+    """
+    findings = check_spec_structure(spec)
+    if semantic:
+        findings.extend(check_spec_contracts(
+            spec,
+            workloads if workloads is not None else default_workloads(spec),
+            options if options is not None else default_options(spec),
+        ))
+    suppressed_ids = rules.resolve_refs(spec.lint_suppress) | rules.resolve_refs(disabled)
+    for finding in findings:
+        if finding.rule.id in suppressed_ids:
+            finding.suppressed = True
+    return findings
+
+
+def lint_specs(
+    specs: Optional[List[FixpointSpec]] = None,
+    semantic: bool = False,
+    disabled: Iterable[str] = (),
+    workloads_by_spec: Optional[Dict[str, List[Workload]]] = None,
+) -> LintReport:
+    """Lint many specs (default: every built-in) into one report."""
+    if specs is None:
+        specs = builtin_specs()
+    report = LintReport(semantic=semantic)
+    for spec in specs:
+        workloads = (workloads_by_spec or {}).get(spec.name)
+        report.extend(lint_spec(spec, semantic=semantic, disabled=disabled, workloads=workloads))
+        report.specs_checked.append(spec.name)
+    return report

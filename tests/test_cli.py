@@ -127,6 +127,45 @@ class TestUpdateParsing:
             read_updates(str(path))
 
 
+class TestLint:
+    def test_structural_text_clean(self, capsys):
+        code, out, _err = run_cli(capsys, "lint")
+        assert code == 0
+        assert "checked 7 spec(s)" in out and "[structural]" in out
+        assert "0 error(s)" in out
+
+    def test_semantic_single_spec_json(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "lint", "--spec", "sssp", "--semantic", "--format", "json"
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["specs"] == ["SSSP"]
+        assert doc["semantic"] is True and doc["clean"] is True
+
+    def test_verbose_shows_sswp_waiver(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "lint", "--spec", "sswp", "--semantic", "--verbose"
+        )
+        assert code == 0  # suppressed findings don't fail the run ...
+        assert "C105" in out and "[suppressed]" in out  # ... but stay visible
+
+    def test_disable_rule_by_name(self, capsys):
+        code, out, _err = run_cli(capsys, "lint", "--disable", "mutating-update")
+        assert code == 0
+        assert "checked 7 spec(s)" in out
+
+    def test_unknown_spec_errors(self, capsys):
+        code, _out, err = run_cli(capsys, "lint", "--spec", "pagerank")
+        assert code == 2
+        assert "unknown spec" in err
+
+    def test_unknown_rule_errors(self, capsys):
+        code, _out, err = run_cli(capsys, "lint", "--disable", "S999")
+        assert code == 2
+        assert "unknown lint rule" in err
+
+
 class TestDatasets:
     def test_lists_all_six(self, capsys):
         code, out, _err = run_cli(capsys, "datasets")

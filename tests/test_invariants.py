@@ -9,7 +9,10 @@ from repro.core.invariants import (
     check_fixpoint_invariant,
     check_scope_validity,
 )
-from repro.graph import from_edges
+from repro.core.orders import MinValueOrder
+from repro.core.spec import FixpointSpec
+from repro.graph import Batch, EdgeDeletion, from_edges
+from repro.lint import ContractOptions, Workload, check_spec_contracts
 
 
 def sssp_setup():
@@ -98,3 +101,81 @@ class TestReport:
         assert InvariantReport(holds=True)
         assert not InvariantReport.from_violations(["x"]).holds
         assert InvariantReport.from_violations([]).holds
+
+
+# ----------------------------------------------------------------------
+# Negative cases: toy specs that violate C2, caught by the invariant
+# sweep and/or the lint contract pass
+# ----------------------------------------------------------------------
+class NonContractingToy(FixpointSpec):
+    """f wants to *raise* every value (0 -> degree) under MinValueOrder."""
+
+    name = "NonContractingToy"
+    order = MinValueOrder()
+
+    def variables(self, graph, query):
+        return graph.nodes()
+
+    def initial_value(self, key, graph, query):
+        return 0
+
+    def update(self, key, value_of, graph, query):
+        return sum(1 for _ in graph.neighbors(key))
+
+    def dependents(self, key, graph, query):
+        return graph.neighbors(key)
+
+
+class NonMonotoneToy(FixpointSpec):
+    """f decreases when its inputs increase: order-preservation fails."""
+
+    name = "NonMonotoneToy"
+    order = MinValueOrder()
+
+    def variables(self, graph, query):
+        return graph.nodes()
+
+    def initial_value(self, key, graph, query):
+        return 10.0
+
+    def update(self, key, value_of, graph, query):
+        lowest = min((value_of(w) for w in graph.neighbors(key)), default=0.0)
+        return 10.0 - lowest
+
+    def dependents(self, key, graph, query):
+        return graph.neighbors(key)
+
+
+def toy_workload():
+    g = from_edges([(0, 1), (1, 2), (0, 2)])
+    return g, Workload(g, None, Batch([EdgeDeletion(0, 1)]), "triangle")
+
+
+class TestNegativeContracts:
+    def test_non_contracting_breaks_sigma(self):
+        # The engine's contracting guard refuses the upward moves, so the
+        # run "converges" with σ violated everywhere.
+        g, _workload = toy_workload()
+        spec = NonContractingToy()
+        state = run_batch(spec, g, None)
+        report = check_fixpoint_invariant(spec, g, None, state)
+        assert not report
+        assert "σ violated" in report.violations[0]
+
+    def test_non_contracting_flagged_by_contract_pass(self):
+        g, workload = toy_workload()
+        findings = check_spec_contracts(
+            NonContractingToy(), [workload], ContractOptions()
+        )
+        assert "C101" in {f.rule.id for f in findings}
+
+    def test_non_monotonic_satisfies_sigma_but_fails_lint(self):
+        # Non-monotonicity breaks *confluence* (Lemma 2), not σ: the FIFO
+        # schedule happens to land on a genuine fixpoint, so the runtime
+        # sweep is blind — only the contract pass sees the violation.
+        g, workload = toy_workload()
+        spec = NonMonotoneToy()
+        state = run_batch(spec, g, None)
+        assert check_fixpoint_invariant(spec, g, None, state)
+        findings = check_spec_contracts(spec, [workload], ContractOptions())
+        assert "C102" in {f.rule.id for f in findings}
