@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""Generic-vs-kernel engine benchmarks, recorded to ``BENCH_kernels.json``.
+
+Two modes:
+
+``--smoke``
+    Fast CI gate: for every kernelized spec, assert the dense kernel
+    path is actually selectable (no silent fallback) and that forced
+    kernel runs — batch and incremental — produce exactly the generic
+    engine's values.  Exits non-zero on any failure.
+
+default (full)
+    Timed comparison, written as JSON:
+
+    * batch SSSP and CC at 10k / 100k edges (Erdős–Rényi, average
+      degree ~20 — social-network-like density);
+    * incremental SSSP unit-update streams at both scales, two shapes:
+      a *random* stream (tiny affected sets: the paper's locality claim,
+      where the generic engine is already near-optimal) and a
+      *flap* stream alternately deleting/re-inserting the heaviest
+      shortest-path-tree edges (large repair cascades, where the dense
+      arrays pay off).
+
+    Every timed configuration also asserts value equality between the
+    two engines, so the recorded speedups are for identical answers.
+
+The JSON schema is append-friendly: later suites add entries to
+``results`` with new ``name`` values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from collections import defaultdict
+from pathlib import Path
+
+from repro.algorithms.cc import CCSpec, IncCC
+from repro.algorithms.reach import IncReach, ReachSpec
+from repro.algorithms.sssp import IncSSSP, SSSPSpec
+from repro.algorithms.sswp import IncSSWP, SSWPSpec
+from repro.core import run_batch
+from repro.generators import assign_weights, erdos_renyi, random_updates
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion
+from repro.kernels.engine import unsupported_reason
+
+INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+def best_of(fn, repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` runs (after one warmup)."""
+    fn()
+    best = INF
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def sssp_graph(edges: int, seed: int = 7):
+    n = max(edges // 20, 4)
+    return assign_weights(erdos_renyi(n, edges, directed=True, seed=seed), seed=seed)
+
+
+def cc_graph(edges: int, seed: int = 7):
+    n = max(edges // 20, 4)
+    return erdos_renyi(n, edges, directed=False, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Update streams
+# ----------------------------------------------------------------------
+def random_stream(graph, ops: int, seed: int = 3):
+    """Unit updates sampled uniformly — the paper's locality regime."""
+    return list(random_updates(graph, ops, seed=seed))
+
+
+def flap_stream(graph, query, ops: int):
+    """Alternately delete/re-insert the heaviest shortest-path-tree edges.
+
+    "Heaviest" by subtree size: these are the unit updates with the
+    largest affected sets (`AFF`), the adversarial end of the unit-update
+    spectrum.
+    """
+    state = run_batch(SSSPSpec(), graph, query)
+    values = state.values
+    parent = {}
+    for v in graph.nodes():
+        dv = values[v]
+        if dv == INF or v == query:
+            continue
+        for u, w in graph.in_items(v):
+            if values[u] + w == dv:
+                parent[v] = (u, w)
+                break
+    children = defaultdict(list)
+    for v, (u, _w) in parent.items():
+        children[u].append(v)
+    sizes = {}
+    stack = [(query, False)]
+    while stack:
+        v, done = stack.pop()
+        if done:
+            sizes[v] = 1 + sum(sizes[c] for c in children.get(v, []))
+        else:
+            stack.append((v, True))
+            stack.extend((c, False) for c in children.get(v, []))
+    top = sorted(((sizes.get(v, 1), v) for v in parent), reverse=True)[:10]
+    flap = [(parent[v][0], v, parent[v][1]) for _, v in top]
+    stream = []
+    for i in range(ops // 2):
+        u, v, w = flap[i % len(flap)]
+        stream.append(EdgeDeletion(u, v))
+        stream.append(EdgeInsertion(u, v, weight=w))
+    return stream
+
+
+def run_stream(graph, query, stream, engine: str):
+    """Apply ``stream`` as unit batches; returns (seconds, final values)."""
+    work = graph.copy()
+    state = run_batch(SSSPSpec(), work, query, engine="generic")
+    algo = IncSSSP(engine=engine)
+    t0 = time.perf_counter()
+    for op in stream:
+        algo.apply(work, state, Batch([op]), query)
+    return time.perf_counter() - t0, dict(state.values)
+
+
+# ----------------------------------------------------------------------
+# Suites
+# ----------------------------------------------------------------------
+def bench_batch(results, edges: int, repeats: int):
+    for name, spec, graph, query in (
+        ("batch_sssp", SSSPSpec(), sssp_graph(edges), 0),
+        ("batch_cc", CCSpec(), cc_graph(edges), None),
+    ):
+        generic = run_batch(spec, graph, query, engine="generic")
+        kernel = run_batch(spec, graph, query, engine="kernel")
+        assert kernel.values == generic.values, f"{name}@{edges}: values diverge"
+        generic_s = best_of(lambda: run_batch(spec, graph, query, engine="generic"), repeats)
+        kernel_s = best_of(lambda: run_batch(spec, graph, query, engine="kernel"), repeats)
+        entry = {
+            "name": name,
+            "edges": edges,
+            "nodes": graph.num_nodes,
+            "generic_ms": round(generic_s * 1e3, 2),
+            "kernel_ms": round(kernel_s * 1e3, 2),
+            "speedup": round(generic_s / kernel_s, 2),
+        }
+        results.append(entry)
+        print(f"{name:24s} m={edges:<7d} generic {entry['generic_ms']:8.1f}ms  "
+              f"kernel {entry['kernel_ms']:8.1f}ms  {entry['speedup']:.2f}x")
+
+
+def bench_incremental(results, edges: int, ops: int):
+    graph = sssp_graph(edges)
+    for shape, stream in (
+        ("random", random_stream(graph, ops)),
+        ("flap", flap_stream(graph, 0, ops)),
+    ):
+        generic_s, generic_values = run_stream(graph, 0, stream, "generic")
+        kernel_s, kernel_values = run_stream(graph, 0, stream, "kernel")
+        assert kernel_values == generic_values, f"inc {shape}@{edges}: values diverge"
+        entry = {
+            "name": f"inc_sssp_unit_{shape}",
+            "edges": edges,
+            "nodes": graph.num_nodes,
+            "ops": len(stream),
+            "generic_ms": round(generic_s * 1e3, 2),
+            "kernel_ms": round(kernel_s * 1e3, 2),
+            "speedup": round(generic_s / kernel_s, 2),
+        }
+        results.append(entry)
+        print(f"{entry['name']:24s} m={edges:<7d} generic {entry['generic_ms']:8.1f}ms  "
+              f"kernel {entry['kernel_ms']:8.1f}ms  {entry['speedup']:.2f}x")
+
+
+# ----------------------------------------------------------------------
+# Smoke gate (CI)
+# ----------------------------------------------------------------------
+SMOKE_CASES = (
+    (SSSPSpec, IncSSSP, True, 0),
+    (SSWPSpec, IncSSWP, True, 0),
+    (ReachSpec, IncReach, True, 0),
+    (CCSpec, IncCC, False, None),
+)
+
+
+def smoke() -> int:
+    for spec_cls, inc_cls, directed, query in SMOKE_CASES:
+        spec = spec_cls()
+        graph = assign_weights(erdos_renyi(60, 240, directed=directed, seed=5), seed=5)
+        reason = unsupported_reason(spec, graph, query)
+        if reason is not None:
+            print(f"FAIL: {spec.name} kernel not selectable: {reason}", file=sys.stderr)
+            return 1
+        kernel = run_batch(spec, graph, query, engine="kernel")
+        generic = run_batch(spec, graph, query, engine="generic")
+        if kernel.values != generic.values:
+            print(f"FAIL: {spec.name} batch kernel diverges", file=sys.stderr)
+            return 1
+
+        stream = random_updates(graph, 12, seed=9)
+        outcomes = {}
+        for engine in ("generic", "kernel"):
+            work = graph.copy()
+            state = run_batch(spec, work, query, engine="generic")
+            algo = inc_cls(engine=engine)
+            changes = [
+                dict(algo.apply(work, state, Batch([op]), query).changes)
+                for op in stream
+            ]
+            outcomes[engine] = (dict(state.values), changes)
+        if outcomes["kernel"] != outcomes["generic"]:
+            print(f"FAIL: {spec.name} incremental kernel diverges", file=sys.stderr)
+            return 1
+        print(f"smoke OK: {spec.name} (batch + incremental kernel == generic)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="fast CI equality gate")
+    parser.add_argument("--repeats", type=int, default=5, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+        help="output JSON path (full mode)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+
+    results = []
+    for edges in (10_000, 100_000):
+        bench_batch(results, edges, args.repeats)
+        bench_incremental(results, edges, ops=300)
+
+    payload = {
+        "schema": 1,
+        "suite": "kernels",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,22 @@ class CCSpec(FixpointSpec):
 
     # FIFO scheduling (the default priority of None).
 
+    def kernel(self):
+        # Min-label propagation over float-encoded node ids; weakly
+        # deducible, so the repair queue orders by old timestamps.  The
+        # dependency structure is the symmetric neighborhood, so the
+        # kernel requires an undirected graph (directed graphs fall back
+        # to the generic engine, which handles them via neighbor unions).
+        from ..kernels.spec import COPY, NODE, TIMESTAMP, KernelSpec
+
+        return KernelSpec(
+            combine=COPY,
+            domain=NODE,
+            prioritized=False,
+            anchor=TIMESTAMP,
+            undirected_only=True,
+        )
+
     # -- anchors (Example 5) ----------------------------------------------
     def order_key(self, key: Node, value: Any, timestamp: int) -> int:
         # <_C is the timestamp order of the batch run's change propagation.
@@ -139,15 +155,15 @@ class CCSpec(FixpointSpec):
 class CCfp(BatchAlgorithm):
     """The batch CC algorithm ``CC_fp`` (Example 2)."""
 
-    def __init__(self) -> None:
-        super().__init__(CCSpec())
+    def __init__(self, engine: str = "auto") -> None:
+        super().__init__(CCSpec(), engine=engine)
 
 
 class IncCC(IncrementalAlgorithm):
     """The weakly deducible incremental CC algorithm (Example 5)."""
 
-    def __init__(self) -> None:
-        super().__init__(CCSpec())
+    def __init__(self, engine: str = "auto") -> None:
+        super().__init__(CCSpec(), engine=engine)
 
 
 def cc(graph: Graph) -> Dict[Node, Any]:

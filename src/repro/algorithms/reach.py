@@ -81,6 +81,20 @@ class ReachSpec(FixpointSpec):
             raise NodeNotFoundError(query)
         return list(graph.out_neighbors(query))
 
+    def kernel(self):
+        # Boolean flood: True → -1.0 / False → 0.0, candidates copy the
+        # tail's bit; weakly deducible, ordered by the flood timestamps
+        # (unreached nodes sit at the top of <_C).
+        from ..kernels.spec import BOOL, COPY, TIMESTAMP, KernelSpec
+
+        return KernelSpec(
+            combine=COPY,
+            domain=BOOL,
+            prioritized=False,
+            anchor=TIMESTAMP,
+            has_source=True,
+        )
+
     # -- anchors ----------------------------------------------------------
     def order_key(self, key: Node, value: bool, timestamp: int) -> float:
         # Reached nodes settle in flood order; unreached nodes never
@@ -145,15 +159,15 @@ class ReachSpec(FixpointSpec):
 class Reachability(BatchAlgorithm):
     """The batch reachability flood."""
 
-    def __init__(self) -> None:
-        super().__init__(ReachSpec())
+    def __init__(self, engine: str = "auto") -> None:
+        super().__init__(ReachSpec(), engine=engine)
 
 
 class IncReach(IncrementalAlgorithm):
     """The deduced incremental reachability."""
 
-    def __init__(self) -> None:
-        super().__init__(ReachSpec())
+    def __init__(self, engine: str = "auto") -> None:
+        super().__init__(ReachSpec(), engine=engine)
 
 
 def reach(graph: Graph, source: Node) -> Dict[Node, bool]:

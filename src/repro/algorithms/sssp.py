@@ -100,6 +100,15 @@ class SSSPSpec(FixpointSpec):
         # Dijkstra's schedule.
         return cause_value if cause_value is not None else 0.0
 
+    def kernel(self):
+        # Min-plus over float distances; deducible, so the repair queue
+        # orders by (encoded) old values.
+        from ..kernels.spec import ADD, FLOAT, VALUE, KernelSpec
+
+        return KernelSpec(
+            combine=ADD, domain=FLOAT, prioritized=True, anchor=VALUE, has_source=True
+        )
+
     # -- anchors (Section 4 / Example 3) ---------------------------------
     def order_key(self, key: Node, value: float, timestamp: int) -> float:
         # <_C is the order of final distances; deducible, no timestamps.
@@ -165,15 +174,15 @@ class SSSPSpec(FixpointSpec):
 class Dijkstra(BatchAlgorithm):
     """The batch SSSP algorithm ``A`` (Figure 1)."""
 
-    def __init__(self) -> None:
-        super().__init__(SSSPSpec())
+    def __init__(self, engine: str = "auto") -> None:
+        super().__init__(SSSPSpec(), engine=engine)
 
 
 class IncSSSP(IncrementalAlgorithm):
     """The deduced incremental SSSP algorithm ``A_Δ`` (Figure 5)."""
 
-    def __init__(self) -> None:
-        super().__init__(SSSPSpec())
+    def __init__(self, engine: str = "auto") -> None:
+        super().__init__(SSSPSpec(), engine=engine)
 
 
 def sssp(graph: Graph, source: Node) -> Dict[Node, float]:

@@ -110,6 +110,15 @@ class SSWPSpec(FixpointSpec):
         # because the worklist is a min-heap).
         return -cause_value if cause_value is not None else 0.0
 
+    def kernel(self):
+        # Negated max-min: widths encode as -width so ⪯ becomes numeric ≤
+        # and the combine is max(value, -capacity).
+        from ..kernels.spec import FLOAT, MAXNEG, VALUE, KernelSpec
+
+        return KernelSpec(
+            combine=MAXNEG, domain=FLOAT, prioritized=True, anchor=VALUE, has_source=True
+        )
+
     # -- anchors ----------------------------------------------------------
     def order_key(self, key: Node, value: float, timestamp: int) -> float:
         # <_C follows settling order: larger widths settle first; ties
@@ -176,15 +185,15 @@ class SSWPSpec(FixpointSpec):
 class WidestPath(BatchAlgorithm):
     """The batch SSWP algorithm (max-min Dijkstra)."""
 
-    def __init__(self) -> None:
-        super().__init__(SSWPSpec())
+    def __init__(self, engine: str = "auto") -> None:
+        super().__init__(SSWPSpec(), engine=engine)
 
 
 class IncSSWP(IncrementalAlgorithm):
     """The deduced incremental SSWP algorithm."""
 
-    def __init__(self) -> None:
-        super().__init__(SSWPSpec())
+    def __init__(self, engine: str = "auto") -> None:
+        super().__init__(SSWPSpec(), engine=engine)
 
 
 def sswp(graph: Graph, source: Node) -> Dict[Node, float]:

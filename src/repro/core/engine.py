@@ -53,32 +53,52 @@ def new_state(spec: FixpointSpec, graph: Graph, query: Any, counter=None) -> Fix
 
 
 class _Worklist:
-    """FIFO or heap-ordered scope ``H`` with lazy duplicate handling."""
+    """FIFO or heap-ordered scope ``H`` with lazy duplicate handling.
 
-    __slots__ = ("_deque", "_heap", "_tick")
+    FIFO mode deduplicates in-queue keys: re-adding a variable that is
+    already awaiting evaluation cannot change the result (the eventual
+    evaluation reads the then-current inputs), so the duplicate entry
+    would only buy a redundant re-evaluation.  :meth:`push` reports
+    whether the key was actually enqueued so callers can keep their
+    scope-push counters faithful.  Heap mode keeps duplicates: each entry
+    carries the priority of the change that scheduled it, and the stale
+    ones are cheap pops against an already-settled value.
+    """
+
+    __slots__ = ("_deque", "_heap", "_queued", "_tick")
 
     def __init__(self, prioritized: bool) -> None:
         self._deque: Optional[deque] = None if prioritized else deque()
         self._heap: Optional[list] = [] if prioritized else None
+        self._queued: set = set()
         self._tick = 0
 
-    def push(self, key: Hashable, priority: Any) -> None:
+    def push(self, key: Hashable, priority: Any) -> bool:
         if self._heap is not None:
             self._tick += 1
             heapq.heappush(self._heap, (priority, self._tick, key))
-        else:
-            self._deque.append(key)
+            return True
+        if key in self._queued:
+            return False
+        self._queued.add(key)
+        self._deque.append(key)
+        return True
 
     def pop(self) -> Hashable:
         if self._heap is not None:
             return heapq.heappop(self._heap)[2]
-        return self._deque.popleft()
+        key = self._deque.popleft()
+        self._queued.discard(key)
+        return key
 
     def __bool__(self) -> bool:
         return bool(self._heap) if self._heap is not None else bool(self._deque)
 
     def __len__(self) -> int:
         return len(self._heap) if self._heap is not None else len(self._deque)
+
+
+_ENGINES = ("auto", "generic", "kernel")
 
 
 def run_fixpoint(
@@ -89,6 +109,7 @@ def run_fixpoint(
     scope: Optional[Iterable] = None,
     max_evals: Optional[int] = None,
     relaxations: Optional[Iterable] = None,
+    engine: str = "auto",
 ) -> FixpointState:
     """Run ``A`` (or resume it) until the scope empties.
 
@@ -105,10 +126,40 @@ def run_fixpoint(
         Optional safety valve; exceeding it raises
         :class:`~repro.errors.FixpointError` (useful when developing new
         specs whose update functions are not contracting).
+    engine:
+        ``"auto"`` (default) lowers fresh, uninstrumented runs of
+        kernel-declaring specs onto dense CSR arrays
+        (:mod:`repro.kernels.engine`), falling back to the generic
+        interpreter otherwise.  ``"generic"`` forces the interpreter;
+        ``"kernel"`` demands the dense path and raises
+        :class:`~repro.errors.FixpointError` when it is unavailable.
 
     Returns the (possibly shared) :class:`FixpointState` at the fixpoint.
     """
+    if engine not in _ENGINES:
+        raise FixpointError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
     fresh = state is None
+    if engine != "generic":
+        lowerable = (
+            fresh and scope is None and max_evals is None and relaxations is None
+        )
+        if lowerable:
+            from ..kernels.engine import try_run_batch
+
+            kernel_state = try_run_batch(spec, graph, query)
+            if kernel_state is not None:
+                return kernel_state
+        if engine == "kernel":
+            if not lowerable:
+                raise FixpointError(
+                    "engine='kernel' supports only fresh batch runs "
+                    "(no state/scope/max_evals/relaxations)"
+                )
+            from ..kernels.engine import unsupported_reason
+
+            raise FixpointError(
+                f"engine='kernel' unavailable: {unsupported_reason(spec, graph, query)}"
+            )
     if fresh:
         state = new_state(spec, graph, query)
     if scope is None:
@@ -129,9 +180,9 @@ def run_fixpoint(
         raise FixpointError("relaxations require a push-capable spec")
     work = _Worklist(prioritized)
     for key in scope:
-        if counting:
+        pushed = work.push(key, spec.priority(key, state.peek(key)) if prioritized else None)
+        if pushed and counting:
             counter.on_scope_push(key)
-        work.push(key, spec.priority(key, state.peek(key)) if prioritized else None)
 
     evals = 0
     value_of = state.get if counting else state.values.__getitem__
@@ -157,9 +208,9 @@ def run_fixpoint(
         for dep in spec.dependents(key, graph, query):
             if dep not in values:
                 continue
-            if counting:
+            pushed = work.push(dep, spec.priority(dep, new) if prioritized else None)
+            if pushed and counting:
                 counter.on_scope_push(dep)
-            work.push(dep, spec.priority(dep, new) if prioritized else None)
     state.rounds += evals
     return state
 
@@ -237,14 +288,43 @@ def _run_push(
             candidate = spec.edge_candidate(dep, key, cause_value, graph, query)
             if lt(candidate, values[dep]):
                 state.set(dep, candidate)
-                if counting:
+                pushed = work.push(dep, spec.priority(dep, candidate) if prioritized else None)
+                if pushed and counting:
                     counter.on_scope_push(dep)
-                work.push(dep, spec.priority(dep, candidate) if prioritized else None)
     state.rounds += evals
     return state
 
 
-def run_batch(spec: FixpointSpec, graph: Graph, query: Any, counter=None) -> FixpointState:
-    """Convenience: a full batch run of ``A`` on ``(Q, G)`` from ``D^⊥``."""
+def run_batch(
+    spec: FixpointSpec, graph: Graph, query: Any, counter=None, engine: str = "auto"
+) -> FixpointState:
+    """Convenience: a full batch run of ``A`` on ``(Q, G)`` from ``D^⊥``.
+
+    With ``engine="auto"`` (default), uninstrumented runs of
+    kernel-declaring specs take the dense CSR path; any live
+    :class:`~repro.metrics.counters.AccessCounter` forces the generic
+    interpreter (the kernels do not emit per-access events).
+    """
+    if engine not in _ENGINES:
+        raise FixpointError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    instrumented = counter is not None and not isinstance(counter, NullCounter)
+    if engine != "generic" and not instrumented:
+        from ..kernels.engine import try_run_batch
+
+        state = try_run_batch(spec, graph, query)
+        if state is not None:
+            if counter is not None:
+                state.counter = counter
+            return state
+        if engine == "kernel":
+            from ..kernels.engine import unsupported_reason
+
+            raise FixpointError(
+                f"engine='kernel' unavailable: {unsupported_reason(spec, graph, query)}"
+            )
+    elif engine == "kernel":
+        raise FixpointError(
+            "engine='kernel' cannot run instrumented (counters require the generic engine)"
+        )
     state = new_state(spec, graph, query, counter=counter)
     return run_fixpoint(spec, graph, query, state=state, scope=spec.initial_scope(graph, query))

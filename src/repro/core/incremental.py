@@ -72,10 +72,16 @@ class IncrementalResult:
 
 
 class BatchAlgorithm:
-    """A runnable batch algorithm ``A`` wrapping a :class:`FixpointSpec`."""
+    """A runnable batch algorithm ``A`` wrapping a :class:`FixpointSpec`.
 
-    def __init__(self, spec: FixpointSpec) -> None:
+    ``engine`` selects the execution path for :meth:`run` — ``"auto"``
+    (dense CSR kernels when the spec declares one and no counter is
+    live), ``"generic"``, or ``"kernel"`` (raise rather than fall back).
+    """
+
+    def __init__(self, spec: FixpointSpec, engine: str = "auto") -> None:
         self.spec = spec
+        self.engine = engine
 
     @property
     def name(self) -> str:
@@ -83,7 +89,7 @@ class BatchAlgorithm:
 
     def run(self, graph: Graph, query: Any = None, counter: AccessCounter = None) -> FixpointState:
         """Compute the fixpoint ``D^r_A`` of ``A`` on ``(Q, G)``."""
-        return run_batch(self.spec, graph, query, counter=counter)
+        return run_batch(self.spec, graph, query, counter=counter, engine=self.engine)
 
     def answer(self, state: FixpointState, graph: Graph, query: Any = None) -> Any:
         """Extract ``Q(G)`` from a fixpoint state."""
@@ -112,8 +118,12 @@ class IncrementalAlgorithm:
     fixpoint, so batches can be applied repeatedly.
     """
 
-    def __init__(self, spec: FixpointSpec) -> None:
+    def __init__(self, spec: FixpointSpec, engine: str = "auto") -> None:
         self.spec = spec
+        self.engine = engine
+        # Dense context reused across applies (kernels.incremental); None
+        # until the first kernel apply, dropped when it goes stale.
+        self._kernel_ctx = None
 
     @property
     def name(self) -> str:
@@ -149,6 +159,34 @@ class IncrementalAlgorithm:
             )
 
         counting = measure or trace
+        if self.engine != "generic" and not counting:
+            from ..errors import FixpointError
+            from ..kernels.incremental import kernel_apply
+
+            try:
+                result, self._kernel_ctx = kernel_apply(
+                    self.spec, graph, state, delta, query, self._kernel_ctx
+                )
+            except BaseException:
+                # A strict-apply error may have left the graph partially
+                # updated; never trust the mirror afterwards.
+                self._kernel_ctx = None
+                raise
+            if result is not None:
+                return result
+            if self.engine == "kernel":
+                from ..kernels.engine import unsupported_reason
+
+                raise FixpointError(
+                    "engine='kernel' unavailable for this apply: "
+                    f"{unsupported_reason(self.spec, graph, query) or 'state not lowerable'}"
+                )
+        elif self.engine == "kernel":
+            raise IncrementalizationError(
+                "engine='kernel' cannot run instrumented (measure/trace require the generic engine)"
+            )
+        self._kernel_ctx = None  # generic apply invalidates any dense mirror
+
         result = IncrementalResult(
             h_counter=AccessCounter(trace=trace) if counting else NullCounter(),
             engine_counter=AccessCounter(trace=trace) if counting else NullCounter(),

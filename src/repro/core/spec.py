@@ -157,6 +157,22 @@ class FixpointSpec(ABC):
         """
         return None
 
+    def kernel(self):
+        """Declare a dense scalar kernel for this spec, or ``None``.
+
+        Push-capable node-keyed specs whose ``edge_candidate`` reduces to
+        one of the scalar combine operators of
+        :mod:`repro.kernels.spec` can return a
+        :class:`~repro.kernels.spec.KernelSpec` here; the engines then
+        lower eligible runs onto flat CSR arrays with no per-edge Python
+        dispatch (see ``docs/performance.md``).  The declaration is a
+        *claim* checked by lint rule S008 — the scalar kernel must agree
+        with ``edge_candidate`` on sampled inputs — and by the
+        differential tests.  The default ``None`` keeps the spec on the
+        generic interpreter.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Anchor hooks: <_C, C_{x_i}, and ΔG → evolved input sets (Section 4)
     # ------------------------------------------------------------------

@@ -78,6 +78,32 @@ class FixpointState:
     def timestamp(self, key: Key) -> int:
         return self.timestamps.get(key, -1)
 
+    def replay(self, writes) -> None:
+        """Apply an ordered iterable of ``(key, value)`` writes via :meth:`set`.
+
+        This is the mirror protocol of the dense kernel engine: its hot
+        loops work on flat arrays and log every accepted write, then
+        replay the log here so the dict state carries the same final
+        values *and* a timestamp linearization consistent with the
+        propagation order — which the weakly deducible specs (CC, Reach)
+        read back as ``<_C`` on the next incremental apply.  Replaying
+        transient writes (values later overwritten) is deliberate: their
+        timestamps are provenance, not noise.
+        """
+        if self.changelog is None and isinstance(self.counter, NullCounter):
+            # Uninstrumented fast path: identical effect to per-write
+            # :meth:`set` minus the method-call and branch overhead.
+            values, timestamps = self.values, self.timestamps
+            clock = self.clock
+            for key, value in writes:
+                values[key] = value
+                timestamps[key] = clock
+                clock += 1
+            self.clock = clock
+            return
+        for key, value in writes:
+            self.set(key, value)
+
     def drop(self, key: Key) -> None:
         """Retire a variable (vertex deletion)."""
         if self.changelog is not None and key not in self.changelog:

@@ -1,0 +1,335 @@
+"""Dense batch execution: the push loop of Eq. 1 on flat CSR arrays.
+
+:func:`try_run_batch` lowers a full batch run of a kernel-declaring spec
+(:meth:`~repro.core.spec.FixpointSpec.kernel`) onto a
+:class:`~repro.graph.csr.CSRGraph` snapshot: node ids densified to
+``0..n-1``, values mirrored into the encoded minimizing domain of
+:mod:`repro.kernels.spec`, and the fixpoint computed as *round-synchronous
+numpy sweeps* over the reverse-CSR — per round, one fancy-indexed gather
+evaluates every edge's scalar combine, ``minimum.reduceat`` reduces each
+node's in-candidates, and ``np.minimum`` merges the result into the
+value vector, so the per-edge work runs in C with O(1) Python calls per
+round.  Only each node's *last* write is replayed into the state, sorted
+by round — a valid ``<_C`` linearization, because at a fixpoint a
+variable's anchor settled in a strictly earlier round.  Past
+:data:`_BF_ROUND_CAP` rounds (high-diameter graphs, where synchronous
+sweeps degrade) the live frontier is handed to :func:`_propagate_csr`, a
+scalar heap/FIFO drain with the combine inlined — no per-edge Python
+dispatch, no dict hashing.  The synchronous schedule reaches exactly the
+asynchronous fixpoint: the encoded spec is monotone and contracting, so
+the fixpoint is unique, and numpy float64 arithmetic matches Python
+floats bit-for-bit.
+
+The function returns ``None`` whenever the run cannot be lowered
+faithfully (no kernel declared, unencodable values, colliding node-id
+encodings, a directed graph for an undirected-only kernel, or a missing
+source node); callers then fall back to the generic engine, which either
+runs the spec or raises the same errors it always did.
+
+Hot-loop conventions (shared with :mod:`repro.kernels.incremental`):
+the CSR arrays are plain Python lists so the loops index unboxed
+ints/floats (numpy scalar boxing costs more than it saves at these
+sizes), writes are appended to a log replayed into the
+:class:`~repro.core.state.FixpointState` afterwards — preserving write
+*order*, hence a valid timestamp linearization of ``<_C`` for the weakly
+deducible specs — and relaxations into a pinned source are skipped,
+mirroring the constant ``edge_candidate`` branch of the generic engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import chain
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.spec import FixpointSpec
+from ..core.state import FixpointState
+from ..graph.csr import CSRGraph
+from ..graph.graph import Graph
+from .spec import ADD, BOOL, MAXNEG, NODE, KernelSpec, encode_value
+
+
+def build_node_decode(kspec: KernelSpec, node_of) -> Optional[Dict[float, Any]]:
+    """The exact ``float(id) → id`` map for the ``node`` domain.
+
+    Returns ``None`` when the encoding is lossy (non-numeric ids, or two
+    ids sharing a float image, e.g. ints beyond 2**53) — the kernel then
+    cannot represent the label domain and the caller must fall back.
+    For collision-free images ``float`` is monotone, so the encoded
+    order is isomorphic to the node-id order the spec minimizes over.
+    """
+    if kspec.domain != NODE:
+        return None
+    decode: Dict[float, Any] = {}
+    try:
+        for node in node_of:
+            decode[float(node)] = node
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if len(decode) != len(node_of):
+        return None
+    return decode
+
+
+def encode_initial(
+    spec: FixpointSpec, kspec: KernelSpec, graph: Graph, query: Any, node_of
+) -> Optional[List[float]]:
+    """Encoded ``x^⊥`` per dense node, or ``None`` if unencodable.
+
+    The encoding is inlined per domain (one listcomp instead of an
+    ``encode_value`` call per node); :func:`encode_value` remains the
+    single-value reference implementation these branches mirror.
+    """
+    try:
+        raw = [spec.initial_value(node, graph, query) for node in node_of]
+        if kspec.domain == BOOL:
+            return [-1.0 if v else 0.0 for v in raw]
+        if kspec.combine == MAXNEG:
+            return [-float(v) for v in raw]
+        return list(map(float, raw))
+    except (TypeError, ValueError, OverflowError):
+        return None
+
+
+def unsupported_reason(spec: FixpointSpec, graph: Graph, query: Any) -> Optional[str]:
+    """Why this run cannot take the kernel path, or ``None`` if it can."""
+    kspec = spec.kernel()
+    if kspec is None:
+        return f"{spec.name} declares no kernel"
+    if spec.order is None:
+        return f"{spec.name} declares no partial order"
+    if kspec.undirected_only and graph.directed:
+        return f"{spec.name} kernel requires an undirected graph"
+    if kspec.has_source and not graph.has_node(query):
+        return "source node is not in the graph"
+    node_of = list(graph.nodes())
+    if kspec.domain == NODE and build_node_decode(kspec, node_of) is None:
+        return "node ids have no exact float encoding"
+    if encode_initial(spec, kspec, graph, query, node_of) is None:
+        return "initial values are not float-encodable"
+    return None
+
+
+#: Synchronous numpy rounds beyond this count mean a high-diameter graph
+#: where round-sweeps degrade; the engine then drains the live frontier
+#: with the scalar heap/FIFO loop instead.
+_BF_ROUND_CAP = 64
+
+
+def try_run_batch(spec: FixpointSpec, graph: Graph, query: Any) -> Optional[FixpointState]:
+    """A full batch run on dense arrays, or ``None`` to fall back."""
+    kspec = spec.kernel()
+    if kspec is None or spec.order is None:
+        # The encoding lowers ⪯ onto numeric ≤; a spec without a declared
+        # order keeps the generic engine (and its push-precondition errors).
+        return None
+    if kspec.undirected_only and graph.directed:
+        return None
+    if kspec.has_source and not graph.has_node(query):
+        return None
+
+    node_of = list(graph.nodes())
+    n = len(node_of)
+    # Graphs built with dense int ids (0..n-1 in order) need no index map.
+    dense_ids = node_of == list(range(n))
+    index_of = None if dense_ids else {v: i for i, v in enumerate(node_of)}
+    decode_map = None
+    if kspec.domain == NODE:
+        decode_map = build_node_decode(kspec, node_of)
+        if decode_map is None:
+            return None
+    init = encode_initial(spec, kspec, graph, query, node_of)
+    if init is None:
+        return None
+    if kspec.has_source:
+        src = query if dense_ids else index_of[query]
+    else:
+        src = -1
+
+    # Round-synchronous relaxation (Jacobi sweeps): each round pulls
+    # every variable's candidates at once with vectorized numpy ops over
+    # the in-edge CSR.  The fixpoint of Eq. 1 is unique for a contracting
+    # monotone spec, so the synchronous schedule reaches exactly the
+    # values the generic engine's asynchronous one does.  Only each
+    # variable's *last* write is emitted, ordered by the round it landed
+    # in — a valid linearization of <_C, since at the fixpoint a
+    # variable's anchor settled in a strictly earlier round.
+    rindptr, rindices, rweights = _in_arrays(graph, node_of, index_of)
+    init_np = np.asarray(init, dtype=np.float64)
+    val_np = init_np.copy()
+    combine = kspec.combine
+    in_deg = np.diff(rindptr)
+    nonempty = np.flatnonzero(in_deg > 0)
+    red_starts = rindptr[:-1][nonempty]
+    pulled = np.full(n, np.inf)  # rows with no in-edges never leave top
+    last_round = np.zeros(n, dtype=np.int64)
+    rounds = 0
+    pops = 0
+    frontier: Optional[List[int]] = None
+    while True:
+        if combine == ADD:
+            cand = val_np[rindices] + rweights
+        elif combine == MAXNEG:
+            cand = np.maximum(val_np[rindices], -rweights)
+        else:
+            cand = val_np[rindices]
+        if red_starts.size:
+            pulled[nonempty] = np.minimum.reduceat(cand, red_starts)
+        new = np.minimum(val_np, pulled)
+        if src >= 0:
+            new[src] = init_np[src]  # the source is pinned at x^⊥
+        changed_np = np.flatnonzero(new < val_np)
+        if changed_np.size == 0:
+            break
+        rounds += 1
+        pops += int(changed_np.size)
+        last_round[changed_np] = rounds
+        val_np = new
+        if rounds >= _BF_ROUND_CAP:
+            frontier = changed_np.tolist()
+            break
+
+    written = np.flatnonzero(last_round)
+    written = written[np.argsort(last_round[written], kind="stable")]
+    writes: List[Tuple[int, float]] = list(
+        zip(written.tolist(), val_np[written].tolist())
+    )
+    if frontier is not None:
+        # High-diameter tail: finish asynchronously.  The push-engine
+        # invariant holds — exactly the last round's writers have
+        # unpropagated changes — so draining them completes the fixpoint.
+        csr = CSRGraph.from_graph(graph)
+        val = val_np.tolist()
+        pops += _propagate_csr(
+            kspec, val, writes, frontier, csr.indptr, csr.indices, csr.weights, src
+        )
+
+    # Bulk-seed x^⊥ (same effect as per-node state.seed), then replay the
+    # accepted-write log in order to lay down the <_C timestamps.  The
+    # decode is inlined per domain: a decode_value call per write costs
+    # more than the write itself at snapshot sizes.
+    state = FixpointState()
+    if kspec.domain == NODE:
+        dm = decode_map
+        state.values = dict(zip(node_of, map(dm.__getitem__, init)))
+        decoded = [(node_of[i], dm[v]) for i, v in writes]
+    elif kspec.domain == BOOL:
+        state.values = {node: v != 0.0 for node, v in zip(node_of, init)}
+        decoded = [(node_of[i], v != 0.0) for i, v in writes]
+    elif combine == MAXNEG:
+        state.values = {node: -v + 0.0 for node, v in zip(node_of, init)}
+        decoded = [(node_of[i], -v + 0.0) for i, v in writes]
+    else:
+        state.values = dict(zip(node_of, init))
+        decoded = [(node_of[i], v) for i, v in writes]
+    state.timestamps = dict.fromkeys(node_of, -1)
+    state.replay(decoded)
+    state.rounds += pops
+    return state
+
+
+def _in_arrays(graph: Graph, node_of, index_of):
+    """Reverse-CSR numpy arrays ``(rindptr, rindices, rweights)``.
+
+    ``index_of`` is ``None`` when node ids are already dense ints (the
+    index map is then the identity).  Reads the graph's adjacency dicts
+    wholesale when available (the per-edge work then runs in C inside
+    ``fromiter``/``chain``); falls back to the ``in_items`` iterator
+    otherwise.  For undirected graphs the predecessor dicts alias the
+    successors, whose rows already hold both directions.
+    """
+    n = len(node_of)
+    pred = getattr(graph, "_pred", None)
+    if isinstance(pred, dict) and len(pred) == n:
+        rows = list(map(pred.__getitem__, node_of))
+        rindptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(list(map(len, rows)), out=rindptr[1:])
+        m = int(rindptr[-1])
+        tails = chain.from_iterable(rows)
+        if index_of is None:
+            rindices = np.fromiter(tails, np.int64, count=m)
+        else:
+            rindices = np.fromiter(map(index_of.__getitem__, tails), np.int64, count=m)
+        rweights = np.fromiter(
+            chain.from_iterable(map(dict.values, rows)), np.float64, count=m
+        )
+        return rindptr, rindices, rweights
+
+    if index_of is None:
+        index_of = {v: i for i, v in enumerate(node_of)}
+    deg_l: List[int] = []
+    idx: List[int] = []
+    wts: List[float] = []
+    for v in node_of:
+        before = len(idx)
+        for u, w in graph.in_items(v):
+            idx.append(index_of[u])
+            wts.append(w)
+        deg_l.append(len(idx) - before)
+    rindptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg_l, out=rindptr[1:])
+    return rindptr, np.array(idx, dtype=np.int64), np.array(wts, dtype=np.float64)
+
+
+def _propagate_csr(
+    kspec: KernelSpec,
+    val: List[float],
+    writes: List[Tuple[int, float]],
+    changed: List[int],
+    indptr: List[int],
+    indices: List[int],
+    weights: List[float],
+    src: int,
+) -> int:
+    """Drain the worklist over a pure CSR (no overlay).  Returns pops."""
+    combine = kspec.combine
+    pops = 0
+    if kspec.prioritized:
+        heap: List[Tuple[float, int]] = [(val[i], i) for i in changed]
+        heapq.heapify(heap)
+        heappush, heappop = heapq.heappush, heapq.heappop
+        while heap:
+            d, i = heappop(heap)
+            if d > val[i]:
+                continue  # stale entry; a better one was processed
+            pops += 1
+            lo, hi = indptr[i], indptr[i + 1]
+            if combine == ADD:
+                for k in range(lo, hi):
+                    j = indices[k]
+                    cand = d + weights[k]
+                    if cand < val[j] and j != src:
+                        val[j] = cand
+                        writes.append((j, cand))
+                        heappush(heap, (cand, j))
+            else:  # MAXNEG
+                for k in range(lo, hi):
+                    j = indices[k]
+                    nw = -weights[k]
+                    cand = nw if nw > d else d
+                    if cand < val[j] and j != src:
+                        val[j] = cand
+                        writes.append((j, cand))
+                        heappush(heap, (cand, j))
+        return pops
+
+    # FIFO label propagation (COPY) with in-queue dedup.
+    dq = deque(changed)
+    inq = set(changed)
+    while dq:
+        i = dq.popleft()
+        inq.discard(i)
+        pops += 1
+        v = val[i]
+        for k in range(indptr[i], indptr[i + 1]):
+            j = indices[k]
+            if v < val[j] and j != src:
+                val[j] = v
+                writes.append((j, v))
+                if j not in inq:
+                    inq.add(j)
+                    dq.append(j)
+    return pops

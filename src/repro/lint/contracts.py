@@ -145,7 +145,7 @@ def _check_monotonic(spec, workload, options) -> List[LintFinding]:
     if order is None:
         return []
     graph, query = workload.graph, workload.query
-    final = run_batch(spec, graph, query).values
+    final = run_batch(spec, graph, query, engine="generic").values
     initial = {k: spec.initial_value(k, graph, query) for k in final}
     rng = random.Random(options.seed)
     mix = {k: final[k] if rng.random() < 0.5 else initial[k] for k in final}
@@ -180,7 +180,7 @@ def _check_initial_top(spec, workload, options) -> List[LintFinding]:
     if order is None:
         return []
     graph, query = workload.graph, workload.query
-    final = run_batch(spec, graph, query).values
+    final = run_batch(spec, graph, query, engine="generic").values
     bad = {
         k
         for k, v in final.items()
@@ -227,8 +227,8 @@ def _check_anchor_sound(spec, workload, options) -> List[LintFinding]:
             return []
         delta = Batch(kept)
     graph_new = updated_copy(graph, delta)
-    state_old = run_batch(spec, graph, query)
-    state_new = run_batch(spec, graph_new, query)
+    state_old = run_batch(spec, graph, query, engine="generic")
+    state_new = run_batch(spec, graph_new, query, engine="generic")
 
     raised = {
         k
@@ -301,7 +301,7 @@ def _check_declared_inputs(spec, workload, options) -> List[LintFinding]:
     if not _declares_inputs(spec, workload):
         return []
     graph, query = workload.graph, workload.query
-    final = run_batch(spec, graph, query).values
+    final = run_batch(spec, graph, query, engine="generic").values
     rng = random.Random(options.seed)
     keys = _sorted_keys(final)
     if len(keys) > options.sample:
@@ -366,14 +366,14 @@ def _check_divergence(spec, workload, options) -> List[LintFinding]:
         return []
     graph = workload.graph.copy()
     query, delta = workload.query, workload.delta
-    state = run_batch(spec, graph, query)
+    state = run_batch(spec, graph, query, engine="generic")
     inc = (
         options.incremental_factory()
         if options.incremental_factory is not None
-        else IncrementalAlgorithm(spec)
+        else IncrementalAlgorithm(spec, engine="generic")
     )
     inc.apply(graph, state, delta, query)
-    fresh = run_batch(spec, graph, query)
+    fresh = run_batch(spec, graph, query, engine="generic")
     diff = {
         k
         for k in set(state.values) | set(fresh.values)

@@ -1,0 +1,89 @@
+"""S008 — replay a declared scalar kernel against ``edge_candidate``.
+
+A :meth:`~repro.core.spec.FixpointSpec.kernel` declaration is a *claim*:
+``encode ∘ edge_candidate`` equals the named scalar combine on every
+edge.  The dense engines (:mod:`repro.kernels.engine`,
+:mod:`repro.kernels.incremental`) inline that combine in their hot
+loops, so a wrong declaration does not crash — it silently computes a
+different fixpoint whenever the kernel path is selected.  This check
+makes the claim falsifiable the same way the contract pass makes C1/C2
+falsifiable: evaluate both sides on a small sampled cross product of
+cause values and edge weights and flag any disagreement.
+
+The sample is deliberately tiny (a three-node path, a handful of values
+per domain): the combines are scalar functions of ``(value, weight)``
+only, so a mismatch anywhere is a mismatch on a sample this small —
+there is no graph structure to hide behind.  The check runs in the
+structural pass because it is cheap and needs no fixpoint execution,
+only direct calls of one pure spec hook.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.spec import FixpointSpec
+from ..graph import from_edges
+from ..kernels.spec import BOOL, NODE, candidate, encode_value
+from . import rules
+from .report import LintFinding
+
+#: Edge weights replayed for every sampled cause value.
+_WEIGHTS = (0.5, 1.0, 3.0)
+
+
+def _sample_values(kspec):
+    """Cause values in the spec's own domain, chosen per kernel domain."""
+    if kspec.domain == BOOL:
+        return (True, False)
+    if kspec.domain == NODE:
+        return (0, 1, 2)  # node ids of the sample graph
+    return (0.0, 1.0, 2.5, math.inf)
+
+
+def check_kernel_declaration(spec: FixpointSpec) -> List[LintFinding]:
+    """Findings for S008 (empty when no kernel is declared or it agrees)."""
+    try:
+        kspec = spec.kernel()
+    except Exception as exc:  # noqa: BLE001 — a crashing hook is the finding
+        return [LintFinding(
+            rules.KERNEL_CANDIDATE_MISMATCH, spec.name,
+            f"kernel() raised {exc!r}; a declaration hook must not fail",
+        )]
+    if kspec is None:
+        return []
+
+    # The edge replayed is (1 → 2): never into the query source (0), so
+    # the pinned-source branch of edge_candidate stays out of the way,
+    # exactly as in the dense engines (they never relax into the source).
+    query = 0 if kspec.has_source else None
+    for weight in _WEIGHTS:
+        graph = from_edges(
+            [(0, 1), (1, 2)],
+            directed=not kspec.undirected_only,
+            weights=[1.0, weight],
+        )
+        for value in _sample_values(kspec):
+            try:
+                replayed = encode_value(
+                    kspec, spec.edge_candidate(2, 1, value, graph, query)
+                )
+                declared = candidate(
+                    kspec.combine, encode_value(kspec, value), weight
+                )
+            except Exception as exc:  # noqa: BLE001
+                return [LintFinding(
+                    rules.KERNEL_CANDIDATE_MISMATCH, spec.name,
+                    f"replaying edge_candidate(value={value!r}, weight={weight}) "
+                    f"raised {exc!r}; the kernel claim is unverifiable",
+                )]
+            if replayed != declared:
+                return [LintFinding(
+                    rules.KERNEL_CANDIDATE_MISMATCH, spec.name,
+                    f"declared combine {kspec.combine!r} gives {declared!r} for "
+                    f"(value={value!r}, weight={weight}) but encoded "
+                    f"edge_candidate gives {replayed!r}: the dense engines "
+                    "would compute a different fixpoint",
+                )]
+    return []

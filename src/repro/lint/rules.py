@@ -128,6 +128,11 @@ MISSING_ANCHOR_HOOKS = register(Rule(
     "a spec using the generic scope function must override "
     "changed_input_keys and anchor_dependents",
 ))
+KERNEL_CANDIDATE_MISMATCH = register(Rule(
+    "S008", "kernel-candidate-mismatch", STRUCTURAL, ERROR,
+    "a declared KernelSpec must satisfy encode ∘ edge_candidate == "
+    "scalar combine on sampled edges (see lint/kernel_checks.py)",
+))
 
 # ----------------------------------------------------------------------
 # Contract rules (executed on generated workloads; see lint/contracts.py)

@@ -31,6 +31,7 @@ from ..generators import (
 from . import rules
 from .ast_checks import check_spec_structure
 from .contracts import ContractOptions, Workload, check_spec_contracts
+from .kernel_checks import check_kernel_declaration
 from .report import LintFinding, LintReport
 
 
@@ -125,6 +126,7 @@ def lint_spec(
     marked, so waivers remain visible.
     """
     findings = check_spec_structure(spec)
+    findings.extend(check_kernel_declaration(spec))
     if semantic:
         findings.extend(check_spec_contracts(
             spec,

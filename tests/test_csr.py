@@ -1,6 +1,5 @@
 """Unit tests for the CSR snapshot."""
 
-import numpy as np
 import pytest
 
 from repro.errors import NodeNotFoundError
@@ -94,7 +93,10 @@ class TestAccess:
         assert csr.num_nodes == 0
         assert csr.num_edges == 0
 
-    def test_arrays_are_int64_float64(self):
+    def test_arrays_hold_unboxed_ints_and_floats(self):
+        # The kernel hot loops index these element-wise: plain lists of
+        # python ints/floats, no numpy scalar boxing.
         csr = CSRGraph.from_graph(from_edges([(0, 1)], directed=True))
-        assert csr.indices.dtype == np.int64
-        assert csr.weights.dtype == np.float64
+        assert all(type(j) is int for j in csr.indices)
+        assert all(type(p) is int for p in csr.indptr)
+        assert all(type(w) is float for w in csr.weights)

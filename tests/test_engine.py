@@ -156,3 +156,59 @@ class TestPushEngine:
         g.add_edge(0, 2, weight=0.5)
         run_fixpoint(spec, g, 0, state=state, scope=[], relaxations=[(0, 2)])
         assert state.values[2] == 0.5
+
+
+class TestWorklistDedup:
+    """FIFO scope ``H`` suppresses in-queue duplicates (lazy dedup)."""
+
+    def test_fifo_push_reports_suppressed_duplicates(self):
+        from repro.core.engine import _Worklist
+
+        work = _Worklist(prioritized=False)
+        assert work.push("a", None) is True
+        assert work.push("a", None) is False  # already awaiting evaluation
+        assert len(work) == 1
+        assert work.pop() == "a"
+        assert work.push("a", None) is True  # enqueueable again once popped
+
+    def test_heap_mode_keeps_stale_duplicates(self):
+        from repro.core.engine import _Worklist
+
+        work = _Worklist(prioritized=True)
+        assert work.push("a", 2.0) is True
+        assert work.push("a", 1.0) is True  # heap entries carry priorities
+        assert len(work) == 2
+        assert work.pop() == "a"
+        assert work.pop() == "a"
+
+    def test_fifo_dedup_saves_evaluations(self, monkeypatch):
+        """Two label waves improve an in-queue node; one evaluation suffices.
+
+        The graph is built so the label-0 wave catches node 3 while it is
+        still queued from the label-1 wave.  The duplicate push must be
+        suppressed, and the engine's evaluation count must equal
+        ``|V|`` seed pulls plus one pop per *accepted* push — i.e. the
+        suppressed duplicate buys exactly one saved evaluation.
+        """
+        import repro.core.engine as engine_mod
+        from repro.algorithms.cc import CCSpec
+
+        attempted = []
+        accepted = []
+        original_push = engine_mod._Worklist.push
+
+        def counting_push(self, key, priority):
+            pushed = original_push(self, key, priority)
+            attempted.append(key)
+            if pushed:
+                accepted.append(key)
+            return pushed
+
+        monkeypatch.setattr(engine_mod._Worklist, "push", counting_push)
+
+        g = from_edges([(3, 10), (1, 10), (2, 3), (0, 2)])
+        state = run_batch(CCSpec(), g, None, engine="generic")
+
+        assert state.values == dict.fromkeys([0, 1, 2, 3, 10], 0)
+        assert len(attempted) > len(accepted)  # at least one duplicate hit
+        assert state.rounds == g.num_nodes + len(accepted)

@@ -386,3 +386,59 @@ class TestRegistryAndReport:
         text = report.render_text()
         assert "S001" in text and "[Mutating]" in text
         assert text.strip().endswith("0 suppressed")
+
+
+# ======================================================================
+# S008: kernel declaration vs edge_candidate
+# ======================================================================
+class TestKernelCandidateMismatch:
+    def test_builtin_kernel_declarations_agree(self):
+        from repro.lint.kernel_checks import check_kernel_declaration
+
+        for spec in builtin_specs():
+            assert check_kernel_declaration(spec) == [], spec.name
+
+    def test_wrong_combine_is_flagged(self):
+        from repro.kernels.spec import FLOAT, MAXNEG, VALUE, KernelSpec
+        from repro.lint.kernel_checks import check_kernel_declaration
+
+        class WrongKernelSSSP(SSSPSpec):
+            def kernel(self):
+                # min-plus spec falsely claiming the max-min combine
+                return KernelSpec(
+                    combine=MAXNEG, domain=FLOAT, prioritized=True,
+                    anchor=VALUE, has_source=True,
+                )
+
+        findings = check_kernel_declaration(WrongKernelSSSP())
+        assert rule_ids(findings) == {"S008"}
+        assert "different fixpoint" in findings[0].message
+
+    def test_crashing_edge_candidate_is_flagged(self):
+        from repro.lint.kernel_checks import check_kernel_declaration
+
+        class CrashingSSSP(SSSPSpec):
+            def edge_candidate(self, dep, cause, cause_value, graph, query):
+                raise RuntimeError("boom")
+
+        findings = check_kernel_declaration(CrashingSSSP())
+        assert rule_ids(findings) == {"S008"}
+        assert "unverifiable" in findings[0].message
+
+    def test_spec_without_kernel_has_no_findings(self):
+        from repro.lint.kernel_checks import check_kernel_declaration
+
+        assert check_kernel_declaration(_MinimalSpec()) == []
+
+    def test_s008_runs_in_structural_pass(self):
+        from repro.kernels.spec import FLOAT, MAXNEG, VALUE, KernelSpec
+
+        class WrongKernelSSSP(SSSPSpec):
+            def kernel(self):
+                return KernelSpec(
+                    combine=MAXNEG, domain=FLOAT, prioritized=True,
+                    anchor=VALUE, has_source=True,
+                )
+
+        findings = lint_spec(WrongKernelSSSP(), semantic=False)
+        assert "S008" in rule_ids(findings)
