@@ -7,7 +7,10 @@ Two modes:
     Fast CI gate: for every kernelized spec, assert the dense kernel
     path is actually selectable (no silent fallback) and that forced
     kernel runs — batch and incremental — produce exactly the generic
-    engine's values.  Exits non-zero on any failure.
+    engine's values.  Also asserts that on a small random unit stream
+    the *sparse* drain really drains sparse (never silently falls back
+    to a dense full-graph sweep) and that the stream scheduler reaches
+    the generic fixpoint.  Exits non-zero on any failure.
 
 default (full)
     Timed comparison, written as JSON:
@@ -19,13 +22,20 @@ default (full)
       where the generic engine is already near-optimal) and a
       *flap* stream alternately deleting/re-inserting the heaviest
       shortest-path-tree edges (large repair cascades, where the dense
-      arrays pay off).
+      arrays pay off).  Each stream is timed per-op under the generic
+      engine, the kernel engine at every drain tier (auto / forced
+      sparse / forced dense), and once more through the coalescing
+      stream scheduler (``apply_stream``); per-op touched-node counters
+      from ``kernel_stats`` are recorded so |AFF|-proportionality is
+      auditable next to the wall-clock numbers.
 
     Every timed configuration also asserts value equality between the
-    two engines, so the recorded speedups are for identical answers.
+    engines, so the recorded speedups are for identical answers.
 
-The JSON schema is append-friendly: later suites add entries to
-``results`` with new ``name`` values.
+The JSON file is append-only across PRs: each invocation re-reads the
+existing file, tags entries that predate tagging with ``run = 2`` (the
+PR 2 baseline), and appends its own results under the next run number,
+so the speedup trajectory stays visible.
 """
 
 from __future__ import annotations
@@ -122,15 +132,35 @@ def flap_stream(graph, query, ops: int):
     return stream
 
 
-def run_stream(graph, query, stream, engine: str):
-    """Apply ``stream`` as unit batches; returns (seconds, final values)."""
+def run_stream(graph, query, stream, engine: str, drain: str = "auto"):
+    """Apply ``stream`` as unit batches.
+
+    Returns ``(seconds, final values, per-op touched counts)`` — the
+    touched counts come from ``kernel_stats`` (kernel engine) or the
+    change/scope sets (generic), i.e. :attr:`IncrementalResult.affected_size`.
+    """
     work = graph.copy()
     state = run_batch(SSSPSpec(), work, query, engine="generic")
     algo = IncSSSP(engine=engine)
+    algo.drain = drain
+    touched = []
     t0 = time.perf_counter()
     for op in stream:
-        algo.apply(work, state, Batch([op]), query)
-    return time.perf_counter() - t0, dict(state.values)
+        touched.append(algo.apply(work, state, Batch([op]), query).affected_size)
+    return time.perf_counter() - t0, dict(state.values), touched
+
+
+def run_scheduled(graph, query, stream):
+    """Drive the same stream through the coalescing scheduler.
+
+    Returns ``(seconds, final values, StreamResult)``.
+    """
+    work = graph.copy()
+    state = run_batch(SSSPSpec(), work, query, engine="generic")
+    algo = IncSSSP()
+    t0 = time.perf_counter()
+    sched = algo.apply_stream(work, state, [Batch([op]) for op in stream], query)
+    return time.perf_counter() - t0, dict(state.values), sched
 
 
 # ----------------------------------------------------------------------
@@ -165,9 +195,16 @@ def bench_incremental(results, edges: int, ops: int):
         ("random", random_stream(graph, ops)),
         ("flap", flap_stream(graph, 0, ops)),
     ):
-        generic_s, generic_values = run_stream(graph, 0, stream, "generic")
-        kernel_s, kernel_values = run_stream(graph, 0, stream, "kernel")
-        assert kernel_values == generic_values, f"inc {shape}@{edges}: values diverge"
+        generic_s, generic_values, generic_touched = run_stream(graph, 0, stream, "generic")
+        tiers = {}
+        for label, drain in (("kernel", "auto"), ("sparse", "sparse"), ("dense", "dense")):
+            s, values, touched = run_stream(graph, 0, stream, "kernel", drain=drain)
+            assert values == generic_values, f"inc {shape}@{edges} [{label}]: values diverge"
+            tiers[label] = (s, touched)
+        sched_s, sched_values, sched = run_scheduled(graph, 0, stream)
+        assert sched_values == generic_values, f"inc {shape}@{edges} [sched]: values diverge"
+
+        kernel_s, kernel_touched = tiers["kernel"]
         entry = {
             "name": f"inc_sssp_unit_{shape}",
             "edges": edges,
@@ -175,11 +212,26 @@ def bench_incremental(results, edges: int, ops: int):
             "ops": len(stream),
             "generic_ms": round(generic_s * 1e3, 2),
             "kernel_ms": round(kernel_s * 1e3, 2),
-            "speedup": round(generic_s / kernel_s, 2),
+            "sparse_ms": round(tiers["sparse"][0] * 1e3, 2),
+            "dense_ms": round(tiers["dense"][0] * 1e3, 2),
+            "sched_ms": round(sched_s * 1e3, 2),
+            # Headline: generic per-op baseline vs the scheduler-driven
+            # pipeline (coalescing + AFF routing), the intended deployment.
+            "speedup": round(generic_s / sched_s, 2),
+            "kernel_speedup": round(generic_s / kernel_s, 2),
+            "applies": sched.applies,
+            "coalesced_away": sched.coalesced_away,
+            # |AFF|-proportionality audit: mean/max nodes touched per op
+            # by the kernel path, next to the generic scope and n.
+            "touched_mean": round(sum(kernel_touched) / max(len(kernel_touched), 1), 1),
+            "touched_max": max(kernel_touched, default=0),
+            "generic_aff_mean": round(sum(generic_touched) / max(len(generic_touched), 1), 1),
         }
         results.append(entry)
         print(f"{entry['name']:24s} m={edges:<7d} generic {entry['generic_ms']:8.1f}ms  "
-              f"kernel {entry['kernel_ms']:8.1f}ms  {entry['speedup']:.2f}x")
+              f"kernel {entry['kernel_ms']:8.1f}ms  sched {entry['sched_ms']:8.1f}ms  "
+              f"{entry['speedup']:.2f}x (sched)  touched μ={entry['touched_mean']}"
+              f"/max={entry['touched_max']} of n={entry['nodes']}")
 
 
 # ----------------------------------------------------------------------
@@ -207,7 +259,7 @@ def smoke() -> int:
             print(f"FAIL: {spec.name} batch kernel diverges", file=sys.stderr)
             return 1
 
-        stream = random_updates(graph, 12, seed=9)
+        stream = list(random_updates(graph, 12, seed=9))
         outcomes = {}
         for engine in ("generic", "kernel"):
             work = graph.copy()
@@ -221,7 +273,45 @@ def smoke() -> int:
         if outcomes["kernel"] != outcomes["generic"]:
             print(f"FAIL: {spec.name} incremental kernel diverges", file=sys.stderr)
             return 1
-        print(f"smoke OK: {spec.name} (batch + incremental kernel == generic)")
+
+        # Sparse-drain gate: on a small random unit stream the forced
+        # sparse tier must actually run its numpy frontier rounds — never
+        # silently degrade to a dense full-graph sweep — and still land
+        # on the generic fixpoint.
+        work = graph.copy()
+        state = run_batch(spec, work, query, engine="generic")
+        algo = inc_cls(engine="kernel")
+        algo.drain = "sparse"
+        drains = set()
+        for op in stream:
+            result = algo.apply(work, state, Batch([op]), query)
+            if result.kernel_stats is None:
+                print(f"FAIL: {spec.name} sparse apply fell back off the kernel",
+                      file=sys.stderr)
+                return 1
+            drains.add(result.kernel_stats["drain"])
+        if "dense" in drains:
+            print(f"FAIL: {spec.name} sparse drain silently fell back to dense",
+                  file=sys.stderr)
+            return 1
+        if "sparse" not in drains:
+            print(f"FAIL: {spec.name} sparse drain never exercised "
+                  f"(saw {sorted(drains)})", file=sys.stderr)
+            return 1
+        if dict(state.values) != outcomes["generic"][0]:
+            print(f"FAIL: {spec.name} sparse drain diverges", file=sys.stderr)
+            return 1
+
+        # Scheduler gate: coalescing + AFF routing reaches the same
+        # fixpoint as the op-by-op applies above.
+        work = graph.copy()
+        state = run_batch(spec, work, query, engine="generic")
+        inc_cls().apply_stream(work, state, [Batch([op]) for op in stream], query)
+        if dict(state.values) != outcomes["generic"][0]:
+            print(f"FAIL: {spec.name} scheduler stream diverges", file=sys.stderr)
+            return 1
+        print(f"smoke OK: {spec.name} (batch + incremental + sparse drain "
+              "+ scheduler == generic)")
     return 0
 
 
@@ -244,15 +334,27 @@ def main() -> int:
         bench_batch(results, edges, args.repeats)
         bench_incremental(results, edges, ops=300)
 
+    # Append-only trajectory: keep every earlier run's rows, tag rows
+    # that predate tagging as run 2 (the PR 2 baseline), and number this
+    # invocation one past the newest run on file.
+    existing = []
+    if args.out.exists():
+        existing = json.loads(args.out.read_text()).get("results", [])
+        for entry in existing:
+            entry.setdefault("run", 2)
+    run = max((entry["run"] for entry in existing), default=1) + 1
+    for entry in results:
+        entry["run"] = run
+
     payload = {
-        "schema": 1,
+        "schema": 2,
         "suite": "kernels",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "results": results,
+        "results": existing + results,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} (run {run})")
     return 0
 
 

@@ -20,7 +20,7 @@ the split the paper reports in Exp-2(2d).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Set, Tuple
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
 
 from ..errors import IncrementalizationError
 from ..graph.graph import Graph
@@ -47,12 +47,26 @@ class IncrementalResult:
     h_counter / engine_counter:
         Data-access counters for the scope-function phase and the resumed
         step-function phase respectively.
+    kernel_stats:
+        ``None`` for generic applies; for kernel applies a dict with the
+        drain tier used (``"scalar"``/``"sparse"``/``"dense"``) and the
+        per-op touched-node counters (``touched``, ``writes``, ``pops``,
+        ``np_rounds``, ``scanned``) — the |AFF|-proportionality evidence.
     """
 
     changes: Dict[Hashable, Tuple[Any, Any]] = field(default_factory=dict)
     scope: Set[Hashable] = field(default_factory=set)
     h_counter: AccessCounter = field(default_factory=AccessCounter)
     engine_counter: AccessCounter = field(default_factory=AccessCounter)
+    kernel_stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def affected_size(self) -> int:
+        """Realized |AFF| of this apply: touched nodes when the kernel
+        measured them, otherwise |ΔO| ∪ |H⁰| from the generic driver."""
+        if self.kernel_stats is not None:
+            return self.kernel_stats["touched"]
+        return len(set(self.changes) | self.scope)
 
     @property
     def total_accesses(self) -> int:
@@ -118,12 +132,16 @@ class IncrementalAlgorithm:
     fixpoint, so batches can be applied repeatedly.
     """
 
-    def __init__(self, spec: FixpointSpec, engine: str = "auto") -> None:
+    def __init__(self, spec: FixpointSpec, engine: str = "auto", drain: str = "auto") -> None:
         self.spec = spec
         self.engine = engine
+        # Kernel drain tier: "auto" | "scalar" | "sparse" | "dense".
+        self.drain = drain
         # Dense context reused across applies (kernels.incremental); None
         # until the first kernel apply, dropped when it goes stale.
         self._kernel_ctx = None
+        # Realized-|AFF| EWMA maintained by apply_stream's scheduler.
+        self._aff_ewma = 0.0
 
     @property
     def name(self) -> str:
@@ -142,6 +160,8 @@ class IncrementalAlgorithm:
         query: Any = None,
         trace: bool = False,
         measure: bool = False,
+        engine: str = None,
+        drain: str = None,
     ) -> IncrementalResult:
         """Apply ``ΔG``; mutate ``graph`` and ``state``; return ``ΔO``.
 
@@ -149,8 +169,14 @@ class IncrementalAlgorithm:
         metric, needed for scope-share and boundedness reports);
         ``trace=True`` additionally records *which* variables were
         touched.  Both default off so timed runs carry no instrumentation
-        overhead.
+        overhead.  ``engine`` and ``drain`` override the instance
+        defaults for this one apply — the stream scheduler uses this to
+        pick the path per op without reconfiguring the algorithm.
         """
+        if engine is None:
+            engine = self.engine
+        if drain is None:
+            drain = self.drain
         if not isinstance(delta, Batch):
             delta = Batch(list(delta))
         if not state.values:
@@ -159,13 +185,13 @@ class IncrementalAlgorithm:
             )
 
         counting = measure or trace
-        if self.engine != "generic" and not counting:
+        if engine != "generic" and not counting:
             from ..errors import FixpointError
             from ..kernels.incremental import kernel_apply
 
             try:
                 result, self._kernel_ctx = kernel_apply(
-                    self.spec, graph, state, delta, query, self._kernel_ctx
+                    self.spec, graph, state, delta, query, self._kernel_ctx, drain=drain
                 )
             except BaseException:
                 # A strict-apply error may have left the graph partially
@@ -174,14 +200,14 @@ class IncrementalAlgorithm:
                 raise
             if result is not None:
                 return result
-            if self.engine == "kernel":
+            if engine == "kernel":
                 from ..kernels.engine import unsupported_reason
 
                 raise FixpointError(
                     "engine='kernel' unavailable for this apply: "
                     f"{unsupported_reason(self.spec, graph, query) or 'state not lowerable'}"
                 )
-        elif self.engine == "kernel":
+        elif engine == "kernel":
             raise IncrementalizationError(
                 "engine='kernel' cannot run instrumented (measure/trace require the generic engine)"
             )
@@ -227,6 +253,39 @@ class IncrementalAlgorithm:
             if old_value != new_value:
                 result.changes[key] = (old_value, new_value)
         return result
+
+    def apply_stream(
+        self,
+        graph: Graph,
+        state: FixpointState,
+        stream,
+        query: Any = None,
+        window: int = None,
+        engine: str = None,
+    ):
+        """Apply a whole update stream through the coalescing scheduler.
+
+        ``stream`` yields :class:`Batch` or unit :class:`Update` items.
+        Consecutive edge updates are coalesced into normalized windows
+        (``window`` ops, default :data:`repro.kernels.scheduler.WINDOW`)
+        and each flushed batch is routed kernel-vs-generic from the
+        estimated |AFF| plus realized-|AFF| feedback; pass ``engine`` to
+        force one path for every apply.  Mutates ``graph`` and ``state``
+        like the equivalent :meth:`apply` sequence and returns a
+        :class:`~repro.kernels.scheduler.StreamResult` with the composed
+        ``ΔO`` and per-apply routing stats.
+        """
+        from ..kernels.scheduler import WINDOW, schedule_stream
+
+        return schedule_stream(
+            self,
+            graph,
+            state,
+            stream,
+            query,
+            window=WINDOW if window is None else window,
+            engine=engine,
+        )
 
 
 def incrementalize(spec: FixpointSpec) -> Tuple[BatchAlgorithm, IncrementalAlgorithm]:

@@ -18,7 +18,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import UpdateError
 from .graph import DEFAULT_WEIGHT, Graph, Node
@@ -161,15 +161,26 @@ class Batch:
             inverse.append(u.inverted())
         return Batch(inverse)
 
-    def normalized(self, directed: bool = True) -> "Batch":
-        """Cancel insert/delete pairs on the same edge.
+    def normalized(self, directed: bool = True, graph: Optional[Graph] = None) -> "Batch":
+        """Reduce the batch to its *net* effect per edge.
 
         A batch may insert and later delete the same edge (or vice versa);
-        the normalized batch keeps only the *net* effect per edge, which is
-        what the affected area ultimately depends on.  Pass
-        ``directed=False`` so that ``(u, v)`` and ``(v, u)`` are treated as
-        the same undirected edge.  Vertex updates are passed through
-        untouched (after the edge updates).
+        the normalized batch keeps only what the final graph — and hence
+        the affected area — ultimately depends on.  Pass ``directed=False``
+        so that ``(u, v)`` and ``(v, u)`` are treated as the same
+        undirected edge.  Vertex updates are passed through untouched
+        (after the edge updates), so batches mixing vertex updates with
+        edge updates on the same endpoints should not be normalized.
+
+        Passing ``graph`` — the pre-batch graph ``G`` — makes the
+        reduction exact: a delete-then-reinsert that restores the original
+        weight and label cancels entirely, while one that *changes* them
+        nets to the ``[deletion, insertion]`` pair that realizes the
+        change.  Without a graph the original weight is unknowable, so a
+        delete-then-reinsert conservatively keeps that pair (cancelling
+        it, as this method once did, silently dropped weight changes), and
+        an insert-then-delete is assumed to start from an absent edge
+        (strict consistency) and cancels.
         """
 
         def edge_key(a, b):
@@ -180,7 +191,7 @@ class Batch:
             except TypeError:
                 return (a, b) if repr(a) <= repr(b) else (b, a)
 
-        net: dict = {}
+        ops_of: dict = {}
         order: List[object] = []
         passthrough: List[Update] = []
         for u in self.updates:
@@ -188,19 +199,63 @@ class Batch:
                 passthrough.append(u)
                 continue
             key = edge_key(u.u, u.v)
-            if key not in net:
+            if key not in ops_of:
                 order.append(key)
-                net[key] = u
+                ops_of[key] = [u]
             else:
-                prev = net[key]
-                ins_then_del = isinstance(prev, EdgeInsertion) and isinstance(u, EdgeDeletion)
-                del_then_ins = isinstance(prev, EdgeDeletion) and isinstance(u, EdgeInsertion)
-                if ins_then_del or del_then_ins:
-                    del net[key]
-                    order.remove(key)
-                else:
-                    net[key] = u
-        result = [net[key] for key in order]
+                ops_of[key].append(u)
+
+        result: List[Update] = []
+        for key in order:
+            ops = ops_of[key]
+            first = ops[0]
+            if graph is not None:
+                existed = graph.has_edge(first.u, first.v)
+                old_weight = graph.weight(first.u, first.v) if existed else None
+                old_label = graph.edge_label(first.u, first.v) if existed else None
+            else:
+                # Strict consistency: the first op tells us the edge's
+                # pre-batch presence (a deletion requires it, an
+                # insertion forbids it).
+                existed = isinstance(first, EdgeDeletion)
+                old_weight = old_label = None
+            # Simulate non-strict replay of the op sequence: a deletion
+            # of an absent edge and an insertion over a present edge are
+            # both skipped, exactly as ``apply_updates(strict=False)``
+            # does.  (A strictly consistent batch takes the same
+            # transitions, so the graphless case is covered too.)
+            present = existed
+            effective_ins: Optional[EdgeInsertion] = None
+            last_del: Optional[EdgeDeletion] = None
+            for op in ops:
+                if isinstance(op, EdgeDeletion):
+                    if present:
+                        present = False
+                        effective_ins = None
+                        last_del = op
+                elif not present:
+                    present = True
+                    effective_ins = op
+            if not present:
+                if existed:
+                    result.append(last_del or EdgeDeletion(first.u, first.v))
+                # else: never present before, absent after — net nothing.
+            elif not existed:
+                result.append(effective_ins)
+            elif effective_ins is None:
+                pass  # every op was a skipped no-op; the edge is untouched
+            elif (
+                graph is not None
+                and old_weight == effective_ins.weight
+                and old_label == effective_ins.label
+            ):
+                pass  # delete-then-reinsert restored the edge exactly
+            else:
+                # The edge survives but its weight/label may differ from
+                # the pre-batch edge (or, without a graph, we cannot rule
+                # that out): net effect is delete + reinsert.
+                result.append(EdgeDeletion(effective_ins.u, effective_ins.v))
+                result.append(effective_ins)
         result.extend(passthrough)
         return Batch(result)
 

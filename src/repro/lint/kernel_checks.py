@@ -1,4 +1,8 @@
-"""S008 — replay a declared scalar kernel against ``edge_candidate``.
+"""S008/S009 — verify a declared scalar kernel's claims.
+
+S008 replays the declared combine against ``edge_candidate``; S009
+checks that the spec's anchor hooks can seed the incremental kernel's
+sparse frontier (see :func:`check_frontier_seeding`).
 
 A :meth:`~repro.core.spec.FixpointSpec.kernel` declaration is a *claim*:
 ``encode ∘ edge_candidate`` equals the named scalar combine on every
@@ -86,4 +90,45 @@ def check_kernel_declaration(spec: FixpointSpec) -> List[LintFinding]:
                     f"edge_candidate gives {replayed!r}: the dense engines "
                     "would compute a different fixpoint",
                 )]
+    return []
+
+
+#: The hooks the incremental kernel seeds its repair queue and engine
+#: frontier from (kernels/incremental.py phases h and engine).
+_FRONTIER_HOOKS = ("changed_input_keys", "repair_seed_keys", "anchor_dependents")
+
+
+def check_frontier_seeding(spec: FixpointSpec) -> List[LintFinding]:
+    """Findings for S009: a kernel whose frontier cannot be seeded.
+
+    The sparse incremental path starts from the update's anchor/PE set
+    — ``changed_input_keys`` and ``repair_seed_keys`` seed the repair
+    queue and the engine frontier, ``anchor_dependents`` bounds the
+    cascade enumeration.  A spec that declares a :class:`KernelSpec` but
+    leaves those hooks at their (raising) defaults can still run batch
+    kernels, yet every *incremental* apply would have no |AFF|-sized
+    starting set: the only sound repair is dense full-graph work, which
+    forfeits exactly the relative boundedness the kernel layer exists
+    for.  Specs that intend batch-only kernels suppress the rule via
+    ``lint_suppress={"S009"}``.
+    """
+    try:
+        kspec = spec.kernel()
+    except Exception:  # noqa: BLE001 — S008 already reports a crashing hook
+        return []
+    if kspec is None:
+        return []
+    spec_class = type(spec)
+    missing = [
+        hook
+        for hook in _FRONTIER_HOOKS
+        if getattr(spec_class, hook) is getattr(FixpointSpec, hook)
+    ]
+    if missing:
+        return [LintFinding(
+            rules.KERNEL_FRONTIER_UNSEEDABLE, spec.name,
+            f"{', '.join(missing)} not overridden: the incremental kernel "
+            "cannot seed a sparse frontier from the update's anchors, so "
+            "applies degrade to dense full-graph repairs",
+        )]
     return []

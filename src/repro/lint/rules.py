@@ -133,6 +133,13 @@ KERNEL_CANDIDATE_MISMATCH = register(Rule(
     "a declared KernelSpec must satisfy encode ∘ edge_candidate == "
     "scalar combine on sampled edges (see lint/kernel_checks.py)",
 ))
+KERNEL_FRONTIER_UNSEEDABLE = register(Rule(
+    "S009", "kernel-frontier-unseedable", STRUCTURAL, WARNING,
+    "a spec declaring a KernelSpec must override the anchor hooks "
+    "(changed_input_keys / repair_seed_keys / anchor_dependents) so the "
+    "incremental kernel can seed a sparse |AFF| frontier instead of "
+    "forcing dense full-graph work",
+))
 
 # ----------------------------------------------------------------------
 # Contract rules (executed on generated workloads; see lint/contracts.py)

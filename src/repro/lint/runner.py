@@ -31,7 +31,7 @@ from ..generators import (
 from . import rules
 from .ast_checks import check_spec_structure
 from .contracts import ContractOptions, Workload, check_spec_contracts
-from .kernel_checks import check_kernel_declaration
+from .kernel_checks import check_frontier_seeding, check_kernel_declaration
 from .report import LintFinding, LintReport
 
 
@@ -127,6 +127,7 @@ def lint_spec(
     """
     findings = check_spec_structure(spec)
     findings.extend(check_kernel_declaration(spec))
+    findings.extend(check_frontier_seeding(spec))
     if semantic:
         findings.extend(check_spec_contracts(
             spec,

@@ -177,6 +177,39 @@ class DynamicGraphSession:
                 listener(registered.name, results[registered.name])
         return results
 
+    def update_stream(self, stream) -> Dict[str, Any]:
+        """Apply a whole update stream with per-query coalescing.
+
+        ``stream`` is an iterable of :class:`Batch` or unit updates.
+        Each registered query drives the stream through its incremental
+        algorithm's :meth:`apply_stream` scheduler (coalesced windows,
+        per-op kernel-vs-generic routing); the session's reference graph
+        receives the raw stream, so all replicas stay identical.
+        Returns ``{query name: StreamResult}`` with each query's composed
+        ``ΔO``; listeners are *not* called per op — read the composed
+        result instead.
+        """
+        stream = [
+            item if isinstance(item, Batch) else Batch([item]) for item in stream
+        ]
+        results: Dict[str, Any] = {}
+        from .graph.updates import apply_updates
+
+        for registered in self._queries.values():
+            if hasattr(registered.incremental, "apply_stream"):
+                results[registered.name] = registered.incremental.apply_stream(
+                    registered.graph, registered.state, stream, registered.query
+                )
+            else:  # non-spec incrementals (IncDFS, ...) apply op by op
+                for batch in stream:
+                    results[registered.name] = registered.incremental.apply(
+                        registered.graph, registered.state, batch, registered.query
+                    )
+        for batch in stream:
+            apply_updates(self.graph, batch)
+            self._batches_applied += 1
+        return results
+
     def answer(self, name: str) -> Any:
         """The current ``Q(G)`` of a registered query."""
         registered = self._query(name)

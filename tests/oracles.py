@@ -12,7 +12,15 @@ import math
 import random
 from typing import Dict, Optional, Set, Tuple
 
-from repro.graph import Batch, EdgeDeletion, EdgeInsertion, Graph
+from repro.graph import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    Graph,
+    VertexDeletion,
+    VertexInsertion,
+    apply_updates,
+)
 
 
 def oracle_sssp(graph: Graph, source) -> Dict:
@@ -138,4 +146,48 @@ def random_edge_batch(rng: random.Random, graph: Graph, size: int, weighted: boo
                     weight = float(rng.randint(1, 9)) if weighted else 1.0
                     batch.append(EdgeInsertion(u, v, weight=weight))
                     break
+    return batch
+
+
+def random_mixed_batch(
+    rng: random.Random,
+    graph: Graph,
+    size: int,
+    weighted: bool = False,
+    protect: Tuple = (),
+) -> Batch:
+    """A consistent batch that may also grow/shrink the node set.
+
+    Ops are generated against a scratch copy so multi-op batches stay
+    strictly consistent.  Nodes in ``protect`` (e.g. the query source)
+    are never deleted.
+    """
+    scratch = graph.copy()
+    protected = set(protect)
+    batch = Batch()
+    for _ in range(size):
+        roll = rng.random()
+        nodes = sorted(scratch.nodes())
+        if len(nodes) < 2:
+            roll = 0.0  # too small for edge ops or deletions: grow
+        if roll < 0.15:
+            new = (max(nodes) if nodes else -1) + 1
+            edges = []
+            if nodes:
+                u = rng.choice(nodes)
+                weight = float(rng.randint(1, 9)) if weighted else 1.0
+                edges.append(EdgeInsertion(u, new, weight=weight))
+            op = VertexInsertion(new, edges=tuple(edges))
+        elif roll < 0.30:
+            candidates = [v for v in nodes if v not in protected]
+            if not candidates:
+                continue
+            op = VertexDeletion(rng.choice(candidates))
+        else:
+            sub = random_edge_batch(rng, scratch, 1, weighted=weighted)
+            if not sub.updates:
+                continue
+            op = sub.updates[0]
+        apply_updates(scratch, Batch([op]))
+        batch.append(op)
     return batch

@@ -442,3 +442,58 @@ class TestKernelCandidateMismatch:
 
         findings = lint_spec(WrongKernelSSSP(), semantic=False)
         assert "S008" in rule_ids(findings)
+
+
+# ======================================================================
+# S009 — kernel frontier seeding
+# ======================================================================
+class FrontierUnseedableSpec(_MinimalSpec):
+    """Declares a kernel but leaves every anchor hook at its default, so
+    the incremental kernel path has no |AFF|-sized seed set."""
+
+    name = "FrontierUnseedable"
+
+    def edge_candidate(self, key, cause, value, graph, query):
+        return value  # consistent with the declared COPY combine (S008-clean)
+
+    def kernel(self):
+        from repro.kernels.spec import COPY, FLOAT, VALUE, KernelSpec
+
+        return KernelSpec(COPY, FLOAT, prioritized=False, anchor=VALUE)
+
+
+class WaivedFrontierSpec(FrontierUnseedableSpec):
+    """Batch-only kernel intent, recorded via the suppress override."""
+
+    name = "WaivedFrontier"
+    lint_suppress = frozenset({"S009"})
+
+
+class TestFrontierSeeding:
+    def test_kernel_frontier_unseedable_s009(self):
+        from repro.lint.kernel_checks import check_frontier_seeding
+
+        findings = check_frontier_seeding(FrontierUnseedableSpec())
+        assert rule_ids(findings) == {"S009"}
+        message = findings[0].message
+        for hook in ("changed_input_keys", "repair_seed_keys", "anchor_dependents"):
+            assert hook in message
+
+    def test_s009_silent_without_kernel(self):
+        from repro.lint.kernel_checks import check_frontier_seeding
+
+        assert not check_frontier_seeding(_MinimalSpec())
+
+    def test_s009_reported_by_lint_spec(self):
+        findings = [f for f in lint_spec(FrontierUnseedableSpec()) if f.rule.id == "S009"]
+        assert findings and not any(f.suppressed for f in findings)
+        assert findings[0].severity in ("", "warning") or findings[0].rule.severity == "warning"
+
+    def test_s009_suppress_override(self):
+        findings = [f for f in lint_spec(WaivedFrontierSpec()) if f.rule.id == "S009"]
+        assert findings and all(f.suppressed for f in findings)
+
+    def test_builtin_kernels_seed_frontiers(self):
+        from repro.lint.kernel_checks import check_frontier_seeding
+
+        assert not check_frontier_seeding(SSSPSpec())

@@ -83,3 +83,95 @@ def test_kernel_incremental_equals_generic(params):
         name = spec_cls.__name__
         assert runs["kernel"][0] == runs["generic"][0], name
         assert runs["kernel"][1] == runs["generic"][1], name
+
+
+@given(scenario)
+def test_drain_tiers_equal_generic(params):
+    """Sparse == dense == scalar == generic, per step, for all four
+    kernel specs — on streams that also grow/shrink the node set."""
+    n, m, directed, seed, batch_sizes = params
+    from oracles import random_mixed_batch
+
+    for spec_cls, inc_cls, force_directed, weighted, query in CASES:
+        use_directed = directed if force_directed is None else force_directed
+        base = random_graph(random.Random(seed), n, m, use_directed, weighted=weighted)
+
+        runs = {}
+        for mode in ("generic", "scalar", "sparse", "dense"):
+            rng_e = random.Random(seed + 7)
+            work = base.copy()
+            state = run_batch(spec_cls(), work, query, engine="generic")
+            algo = inc_cls(engine="generic" if mode == "generic" else "kernel")
+            algo.drain = mode
+            steps = []
+            protect = () if query is None else (query,)
+            for size in batch_sizes:
+                delta = random_mixed_batch(
+                    rng_e, work, size, weighted=weighted, protect=protect
+                )
+                result = algo.apply(work, state, delta, query)
+                steps.append(dict(result.changes))
+                if mode not in ("generic",):
+                    assert result.kernel_stats is not None
+                    if mode != "auto":
+                        assert result.kernel_stats["drain"] in (mode, "scalar")
+            runs[mode] = (dict(state.values), steps)
+
+        name = spec_cls.__name__
+        for mode in ("scalar", "sparse", "dense"):
+            assert runs[mode][0] == runs["generic"][0], (name, mode)
+            assert runs[mode][1] == runs["generic"][1], (name, mode)
+
+
+@given(scenario)
+def test_scheduler_stream_equals_generic(params):
+    """apply_stream (coalescing + routing) reaches the same state and
+    composes the same ΔO as op-by-op generic applies."""
+    n, m, directed, seed, batch_sizes = params
+    from oracles import random_mixed_batch
+
+    for spec_cls, inc_cls, force_directed, weighted, query in CASES:
+        use_directed = directed if force_directed is None else force_directed
+        base = random_graph(random.Random(seed), n, m, use_directed, weighted=weighted)
+        protect = () if query is None else (query,)
+
+        # One deterministic stream of unit batches against the evolving graph.
+        rng_e = random.Random(seed + 13)
+        scratch = base.copy()
+        stream = []
+        from repro.graph.updates import apply_updates as _apply
+
+        for size in batch_sizes:
+            for _ in range(size):
+                b = random_mixed_batch(rng_e, scratch, 1, weighted=weighted, protect=protect)
+                if b.updates:
+                    _apply(scratch, b)
+                    stream.append(b)
+
+        work_s = base.copy()
+        state_s = run_batch(spec_cls(), work_s, query, engine="generic")
+        v0 = dict(state_s.values)
+        sched = inc_cls().apply_stream(work_s, state_s, stream, query, window=3)
+
+        work_g = base.copy()
+        state_g = run_batch(spec_cls(), work_g, query, engine="generic")
+        algo_g = inc_cls(engine="generic")
+        for b in stream:
+            algo_g.apply(work_g, state_g, b, query)
+
+        name = spec_cls.__name__
+        assert work_s == work_g, name
+        assert dict(state_s.values) == dict(state_g.values), name
+        # Composed ΔO: every reported new side is the final value; old
+        # sides match the pre-stream fixpoint for keys that existed then
+        # (variables created mid-stream are seeded silently at their
+        # initial value — per-apply semantics — so their old side is the
+        # creation seed, not None); and no pre-existing change is lost.
+        v1 = dict(state_s.values)
+        for k, (old, new) in sched.changes.items():
+            assert new == v1.get(k), name
+            if k in v0:
+                assert old == v0[k], name
+        missing = {k for k in v0 if v0.get(k) != v1.get(k)} - set(sched.changes)
+        assert not missing, (name, missing)
+        assert sched.ops == len(stream)

@@ -82,8 +82,40 @@ class TestBatch:
                 EdgeInsertion(4, 5),
             ]
         )
-        net = batch.normalized()
+        # With the pre-batch graph, the delete-then-reinsert of (2, 3) is
+        # provably weight-preserving and cancels too.
+        g = from_edges([(2, 3)])
+        net = batch.normalized(graph=g)
         assert net.updates == [EdgeInsertion(4, 5)]
+
+    def test_normalized_graphless_keeps_delete_then_reinsert(self):
+        # Without the graph the original weight of (2, 3) is unknowable,
+        # so the pair must survive as delete + reinsert — cancelling it
+        # would silently drop a weight change.
+        batch = Batch([EdgeDeletion(2, 3), EdgeInsertion(2, 3, weight=7.0)])
+        net = batch.normalized()
+        assert net.updates == [EdgeDeletion(2, 3), EdgeInsertion(2, 3, weight=7.0)]
+
+    def test_normalized_delete_then_reinsert_weight_change_nets_to_pair(self):
+        g = from_edges([(0, 1)], weights=[4.0])
+        batch = Batch([EdgeDeletion(0, 1), EdgeInsertion(0, 1, weight=9.0)])
+        net = batch.normalized(graph=g)
+        assert net.updates == [EdgeDeletion(0, 1), EdgeInsertion(0, 1, weight=9.0)]
+        assert updated_copy(g, net).weight(0, 1) == 9.0
+
+    def test_normalized_delete_then_reinsert_same_weight_cancels(self):
+        g = from_edges([(0, 1)], weights=[4.0])
+        batch = Batch([EdgeDeletion(0, 1), EdgeInsertion(0, 1, weight=4.0)])
+        assert batch.normalized(graph=g).updates == []
+
+    def test_normalized_insert_then_delete_of_preexisting_edge_nets_to_delete(self):
+        # Non-strict replay of [insert existing, delete] removes the edge;
+        # the old cancellation left it in place.
+        g = from_edges([(0, 1)], weights=[4.0])
+        batch = Batch([EdgeInsertion(0, 1, weight=2.0), EdgeDeletion(0, 1)])
+        net = batch.normalized(graph=g)
+        assert net.updates == [EdgeDeletion(0, 1)]
+        assert updated_copy(g, net, strict=False) == updated_copy(g, batch, strict=False)
 
     def test_normalized_undirected_canonicalizes_endpoints(self):
         batch = Batch([EdgeInsertion(0, 1), EdgeDeletion(1, 0)])
@@ -91,11 +123,14 @@ class TestBatch:
         # With directed semantics the two ops touch different edges.
         assert len(batch.normalized(directed=True)) == 2
 
-    def test_normalized_keeps_last_of_same_kind(self):
+    def test_normalized_keeps_effective_insertion(self):
+        # Under (non-strict) replay the second insertion of an already-
+        # present edge is skipped, so the *first* insertion is the one
+        # that determines the final weight.
         batch = Batch([EdgeInsertion(0, 1, weight=1.0), EdgeInsertion(0, 1, weight=2.0)])
         net = batch.normalized()
         assert len(net) == 1
-        assert net[0].weight == 2.0
+        assert net[0].weight == 1.0
 
     def test_repr_shows_mix(self):
         r = repr(Batch([EdgeInsertion(0, 1), EdgeDeletion(1, 2)]))
@@ -201,3 +236,81 @@ class TestExpanded:
         before = g.copy()
         Batch([VertexDeletion(0), EdgeInsertion(5, 6)]).expanded(g)
         assert g == before
+
+
+class TestNormalizedNetEffect:
+    """Property: normalization against the pre-batch graph is exact.
+
+    Sequences that insert and delete the same weighted edge in any order
+    must net to the single update (or pair) with the same non-strict
+    effect as replaying the whole sequence — including delete-then-
+    reinsert chains that change the weight of a pre-existing edge.
+    """
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    edge_ops = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),  # u
+            st.integers(min_value=0, max_value=4),  # v
+            st.booleans(),  # insert?
+            st.integers(min_value=1, max_value=4),  # weight
+        ),
+        min_size=1,
+        max_size=12,
+    )
+    seeds = st.integers(min_value=0, max_value=2**16)
+
+    @staticmethod
+    def _base_graph(seed, directed):
+        import random
+
+        rng = random.Random(seed)
+        g = Graph(directed=directed)
+        for v in range(5):
+            g.ensure_node(v)
+        for u in range(5):
+            for v in range(5):
+                if u != v and rng.random() < 0.4:
+                    if not g.has_edge(u, v):
+                        g.add_edge(u, v, weight=float(rng.randint(1, 4)))
+        return g
+
+    @given(ops=edge_ops, seed=seeds, directed=st.booleans())
+    @settings(deadline=None, max_examples=120)
+    def test_normalized_with_graph_matches_nonstrict_replay(self, ops, seed, directed):
+        g = self._base_graph(seed, directed)
+        batch = Batch(
+            [
+                EdgeInsertion(u, v, weight=float(w)) if ins else EdgeDeletion(u, v)
+                for u, v, ins, w in ops
+                if u != v
+            ]
+        )
+        full = updated_copy(g, batch, strict=False)
+        net = updated_copy(g, batch.normalized(directed=directed, graph=g), strict=False)
+        assert full == net
+
+    @given(ops=edge_ops, seed=seeds, directed=st.booleans())
+    @settings(deadline=None, max_examples=120)
+    def test_normalized_graphless_is_sound_on_consistent_batches(self, ops, seed, directed):
+        # Build a strictly consistent batch against g, then check the
+        # graphless normalization preserves its effect.
+        g = self._base_graph(seed, directed)
+        sim = g.copy()
+        consistent = Batch()
+        for u, v, ins, w in ops:
+            if u == v:
+                continue
+            if ins and not sim.has_edge(u, v):
+                sim.add_edge(u, v, weight=float(w))
+                consistent.append(EdgeInsertion(u, v, weight=float(w)))
+            elif not ins and sim.has_edge(u, v):
+                sim.remove_edge(u, v)
+                consistent.append(EdgeDeletion(u, v))
+        if not consistent.size:
+            return
+        full = updated_copy(g, consistent)
+        net = updated_copy(g, consistent.normalized(directed=directed))
+        assert full == net
