@@ -6,6 +6,8 @@ Usage (also via ``python -m repro``):
     python -m repro run ALGO GRAPH         # batch answer
     python -m repro inc ALGO GRAPH UPDATES # batch + incremental maintenance
     python -m repro datasets               # list the proxy datasets
+    python -m repro recover DIR            # rebuild a crashed session
+    python -m repro audit DIR              # σ_A invariant audit (exit 1 if dirty)
 
 ``GRAPH`` is an edge-list file (``u v [weight]``), a labeled edge list
 (autodetected via ``--labeled``), or a dataset name prefixed with ``@``
@@ -191,6 +193,44 @@ def cmd_inc(args) -> int:
     return 0
 
 
+def cmd_recover(args) -> int:
+    from .session import DynamicGraphSession
+
+    session = DynamicGraphSession.recover(args.directory)
+    document = {
+        "queries": {
+            name: {
+                "algorithm": session._queries[name].algorithm,
+                "quarantined": session._queries[name].quarantined,
+            }
+            for name in session.queries()
+        },
+        "batches_replayed": session.batches_applied,
+        "graph": {"nodes": session.graph.num_nodes, "edges": session.graph.num_edges},
+        "incidents": session.incidents.as_dicts(),
+    }
+    if args.audit:
+        report = session.audit(full=args.full, heal=not args.no_heal)
+        document["audit"] = report.as_dict()
+    session.close()
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from .session import DynamicGraphSession
+
+    session = DynamicGraphSession.recover(args.directory)
+    report = session.audit(
+        full=args.full,
+        sample=args.sample,
+        heal=not args.no_heal,
+    )
+    session.close()
+    print(json.dumps(report.as_dict(), indent=2))
+    return 0 if report.clean else 1
+
+
 def cmd_lint(args) -> int:
     from .lint import builtin_specs, lint_specs
     from .lint.rules import get as get_rule
@@ -250,6 +290,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_inc.add_argument("--source", help="source node (SSSP/SSWP/Reach)")
     p_inc.add_argument("--pattern", help="pattern file for Sim (labeled edge list)")
     p_inc.set_defaults(func=cmd_inc)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="rebuild a crashed session from its checkpoint + WAL",
+        description=(
+            "Load the last checkpoint in DIRECTORY, replay the WAL tail, "
+            "write a fresh checkpoint, and print a JSON summary of the "
+            "recovered session.  See docs/robustness.md."
+        ),
+    )
+    p_recover.add_argument("directory", help="durable session directory")
+    p_recover.add_argument(
+        "--audit", action="store_true", help="audit the recovered states too"
+    )
+    p_recover.add_argument(
+        "--full", action="store_true", help="with --audit: diff against fresh batch runs"
+    )
+    p_recover.add_argument(
+        "--no-heal", action="store_true", help="with --audit: report divergence only"
+    )
+    p_recover.set_defaults(func=cmd_recover)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="check a durable session's states against the σ_A invariant",
+        description=(
+            "Recover the session in DIRECTORY and verify every query's "
+            "fixpoint state: a sampled σ_A probe by default, a full diff "
+            "against fresh batch runs with --full.  Divergent states are "
+            "self-healed by batch recomputation unless --no-heal.  Exits "
+            "1 when any finding was reported."
+        ),
+    )
+    p_audit.add_argument("directory", help="durable session directory")
+    p_audit.add_argument("--full", action="store_true", help="diff against fresh batch runs")
+    p_audit.add_argument(
+        "--sample", type=int, default=None, help="variables sampled per query (default 32)"
+    )
+    p_audit.add_argument(
+        "--no-heal", action="store_true", help="report divergence without recomputing"
+    )
+    p_audit.set_defaults(func=cmd_audit)
 
     p_lint = sub.add_parser(
         "lint",

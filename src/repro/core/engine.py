@@ -40,6 +40,7 @@ from typing import Any, Hashable, Iterable, Optional
 from ..errors import FixpointError
 from ..graph.graph import Graph
 from ..metrics.counters import NullCounter
+from ..resilience.faults import inject
 from .spec import FixpointSpec
 from .state import FixpointState
 
@@ -138,6 +139,7 @@ def run_fixpoint(
     """
     if engine not in _ENGINES:
         raise FixpointError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    inject("engine.fixpoint")
     fresh = state is None
     if engine != "generic":
         lowerable = (

@@ -26,6 +26,7 @@ from ..errors import IncrementalizationError
 from ..graph.graph import Graph
 from ..graph.updates import Batch, apply_updates
 from ..metrics.counters import AccessCounter, NullCounter
+from ..resilience.faults import inject
 from .engine import run_batch, run_fixpoint
 from .scope import initial_scope
 from .spec import FixpointSpec
@@ -162,6 +163,7 @@ class IncrementalAlgorithm:
         measure: bool = False,
         engine: str = None,
         drain: str = None,
+        max_evals: Optional[int] = None,
     ) -> IncrementalResult:
         """Apply ``ΔG``; mutate ``graph`` and ``state``; return ``ΔO``.
 
@@ -172,6 +174,10 @@ class IncrementalAlgorithm:
         overhead.  ``engine`` and ``drain`` override the instance
         defaults for this one apply — the stream scheduler uses this to
         pick the path per op without reconfiguring the algorithm.
+        ``max_evals`` bounds the resumed fixpoint's update-function
+        evaluations (a runaway-drain budget; exceeding it raises
+        :class:`~repro.errors.FixpointError`); budgeted applies take the
+        generic path, where evaluations are countable.
         """
         if engine is None:
             engine = self.engine
@@ -185,7 +191,7 @@ class IncrementalAlgorithm:
             )
 
         counting = measure or trace
-        if engine != "generic" and not counting:
+        if engine != "generic" and not counting and max_evals is None:
             from ..errors import FixpointError
             from ..kernels.incremental import kernel_apply
 
@@ -219,6 +225,7 @@ class IncrementalAlgorithm:
         )
         delta = delta.expanded(graph)
         apply_updates(graph, delta)
+        inject("incremental.mid-apply")  # ΔG committed, fixpoint not yet resumed
         changelog = state.start_changelog()
 
         saved_counter = state.counter
@@ -242,7 +249,13 @@ class IncrementalAlgorithm:
                 }
                 engine_scope.update(key for key in changelog if key in state.values)
             run_fixpoint(
-                self.spec, graph, query, state=state, scope=engine_scope, relaxations=relaxations
+                self.spec,
+                graph,
+                query,
+                state=state,
+                scope=engine_scope,
+                max_evals=max_evals,
+                relaxations=relaxations,
             )
         finally:
             state.counter = saved_counter

@@ -32,6 +32,11 @@ def _encode(value: Any) -> Any:
     if isinstance(value, tuple):
         return {"t": [_encode(v) for v in value]}
     if isinstance(value, float):
+        # Non-finite floats are spelled out as strings: the JSON spec has
+        # no NaN/Infinity literals, and json.dumps would otherwise emit
+        # the non-standard ``NaN`` token that strict parsers reject.
+        if math.isnan(value):
+            return {"f": "nan"}
         if math.isinf(value):
             return {"f": "inf" if value > 0 else "-inf"}
         return {"f": value}
@@ -50,6 +55,8 @@ def _decode(value: Any) -> Any:
                 return math.inf
             if raw == "-inf":
                 return -math.inf
+            if raw == "nan":
+                return math.nan
             return float(raw)
         raise ReproError(f"unknown encoded value {value!r}")
     return value
@@ -89,7 +96,12 @@ def load_state(source: Union[PathLike, IO[str]]) -> FixpointState:
         with open(source) as f:
             doc = json.load(f)
     if doc.get("version") != _FORMAT_VERSION:
-        raise ReproError(f"unsupported state format version {doc.get('version')!r}")
+        raise ReproError(
+            f"unsupported state format version {doc.get('version')!r}; this "
+            f"build reads version {_FORMAT_VERSION}.  The file was written "
+            "by an incompatible (likely newer) release — upgrade, or "
+            "re-run the batch algorithm to regenerate the state."
+        )
     state = FixpointState()
     for raw_key, raw_value, timestamp in doc["entries"]:
         key = _decode(raw_key)

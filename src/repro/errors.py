@@ -53,6 +53,48 @@ class UpdateError(ReproError):
     """An update batch cannot be applied to the target graph."""
 
 
+class BatchValidationError(UpdateError):
+    """``ΔG`` failed up-front validation; nothing was mutated.
+
+    Raised by :func:`repro.resilience.validate.validate_batch` (and hence
+    by :meth:`repro.session.DynamicGraphSession.update`) *before* any
+    graph replica or fixpoint state is touched, so catching it never
+    requires a rollback.
+    """
+
+    def __init__(self, message: str, index: int = -1) -> None:
+        super().__init__(message)
+        #: Position of the offending unit update within the batch.
+        self.index = index
+
+
+class UnknownNodeError(BatchValidationError):
+    """An update references a node the batch-so-far never materializes."""
+
+
+class ContradictoryUpdateError(BatchValidationError):
+    """Duplicate or conflicting ops: re-inserting a present edge/node,
+    deleting an absent one, or an op invalidated earlier in the batch."""
+
+
+class InvalidWeightError(BatchValidationError):
+    """An edge weight is non-finite, or violates a registered
+    algorithm's weight requirements (e.g. negative weights under SSSP)."""
+
+
+class SessionError(ReproError):
+    """A continuous-query session failure (transactions, WAL, recovery)."""
+
+
+class TransactionError(SessionError):
+    """An update batch failed mid-apply; the session was rolled back to
+    its pre-batch snapshot.  ``__cause__`` carries the original error."""
+
+
+class RecoveryError(SessionError):
+    """A session checkpoint or WAL cannot be loaded or replayed."""
+
+
 class FixpointError(ReproError):
     """A fixpoint specification is inconsistent or its run diverged."""
 

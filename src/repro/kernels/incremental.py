@@ -46,6 +46,7 @@ import numpy as np
 
 from ..core.incremental import IncrementalResult
 from ..core.spec import FixpointSpec
+from ..resilience.faults import inject
 from ..core.state import FixpointState
 from ..graph.csr import CSRGraph, CSROverlay
 from ..graph.graph import Graph
@@ -465,6 +466,7 @@ def kernel_apply(
     # ------------------------------------------------------------------
     # Commit: mutate the authoritative graph, then mirror the delta.
     apply_updates(graph, expanded)
+    inject("kernel.mid-drain")  # graph committed, mirror/state not yet drained
 
     overlay = ctx.overlay
     node_of = ctx.node_of

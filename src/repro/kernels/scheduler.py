@@ -37,6 +37,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 from ..core.engine import estimate_affected
 from ..graph.graph import Graph
 from ..graph.updates import Batch, Update, VertexDeletion, VertexInsertion
+from ..resilience.faults import inject
 
 #: Default coalescing window: unit ops buffered before one normalized apply.
 WINDOW = 16
@@ -107,6 +108,7 @@ def schedule_stream(
             _apply_one(net)
 
     def _apply_one(net: Batch) -> None:
+        inject("scheduler.mid-stream")
         est = estimate_affected(graph, net)
         if engine is not None:
             pick = engine

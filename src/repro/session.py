@@ -11,6 +11,22 @@ keep *many* standing queries in sync with one evolving graph.
   incrementally and its ``ΔO`` is delivered to subscribed listeners;
 * read any query's current answer at any time.
 
+A session that runs for days must also survive what long-running
+services actually hit, so updates are *fault tolerant* (see
+``docs/robustness.md`` and :mod:`repro.resilience`):
+
+* batches are validated up front — malformed ``ΔG`` raises a typed
+  :class:`~repro.errors.BatchValidationError` before anything mutates;
+* applies are transactional — a mid-batch failure rolls every replica
+  back to its pre-batch snapshot and raises
+  :class:`~repro.errors.TransactionError`;
+* sessions given a durable ``SessionConfig.directory`` write-ahead-log
+  every batch and checkpoint on a cadence, so :meth:`recover` rebuilds
+  a crashed session without re-running any batch algorithm;
+* σ_A invariant audits (:meth:`audit`) detect silent state corruption,
+  and misbehaving queries are quarantined and self-healed by batch
+  recomputation instead of poisoning the whole session.
+
 Example
 -------
 >>> from repro import Graph
@@ -25,8 +41,9 @@ Example
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
 from .algorithms import (
     CCfp,
@@ -46,11 +63,25 @@ from .algorithms import (
     Simfp,
     WidestPath,
 )
-from .core.incremental import IncrementalResult
+from .core.incremental import IncrementalAlgorithm, IncrementalResult
 from .core.state import FixpointState
-from .errors import ReproError
+from .errors import (
+    FixpointError,
+    RecoveryError,
+    ReproError,
+    SessionError,
+    TransactionError,
+)
 from .graph.graph import Graph
-from .graph.updates import Batch, Update
+from .graph.updates import Batch, Update, apply_updates
+from .resilience import SessionConfig
+from .resilience.audit import AuditReport, QueryAudit, full_audit, sigma_audit
+from .resilience.checkpoint import WAL_FILE, load_checkpoint, write_checkpoint
+from .resilience.faults import InjectedFault, inject
+from .resilience.incidents import IncidentLog
+from .resilience.transactions import SessionTransaction
+from .resilience.validate import session_weight_requirements, validate_batch
+from .resilience.wal import WriteAheadLog
 
 # Built-in algorithm pairs, addressable by name.
 ALGORITHM_PAIRS: Dict[str, Tuple[Callable[[], Any], Callable[[], Any]]] = {
@@ -85,19 +116,53 @@ class RegisteredQuery:
     state: FixpointState
     graph: Graph = None
     listeners: List[Listener] = field(default_factory=list)
+    #: Name of the algorithm pair in :data:`ALGORITHM_PAIRS` — recorded
+    #: so checkpoints can rebuild the pair on :meth:`recover`.
+    algorithm: str = ""
+    #: Consecutive failed incremental applies (reset on clean success).
+    faults: int = 0
+    #: Quarantined queries skip the incremental path and are maintained
+    #: by batch recomputation until :meth:`DynamicGraphSession.heal`.
+    quarantined: bool = False
+
+
+def _diff_values(old: Dict, new: Dict) -> Dict[Hashable, Tuple[Any, Any]]:
+    """ΔO between two value assignments (``None`` on the missing side)."""
+    changes: Dict[Hashable, Tuple[Any, Any]] = {}
+    for key, value in new.items():
+        before = old.get(key)
+        if key not in old or before != value:
+            changes[key] = (before if key in old else None, value)
+    for key, before in old.items():
+        if key not in new:
+            changes[key] = (before, None)
+    return changes
 
 
 class DynamicGraphSession:
     """Keep many registered queries in sync with one evolving graph.
 
     The session owns the graph: apply updates through :meth:`update`
-    only, so every registered state stays consistent with it.
+    only, so every registered state stays consistent with it.  Pass a
+    :class:`~repro.resilience.SessionConfig` to tune validation,
+    transactionality, durability, and audits; the default is
+    validated + transactional, in memory.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, config: Optional[SessionConfig] = None) -> None:
         self.graph = graph
+        self.config = config or SessionConfig()
         self._queries: Dict[str, RegisteredQuery] = {}
         self._batches_applied = 0
+        self.incidents = IncidentLog(self.config.max_incidents)
+        self._wal: Optional[WriteAheadLog] = None
+        self._seq = -1  # last WAL sequence number issued
+        if self.config.directory is not None:
+            directory = Path(self.config.directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            wal_path = directory / WAL_FILE
+            self._seq = WriteAheadLog.last_seq(wal_path)
+            self._wal = WriteAheadLog(wal_path, fsync=self.config.fsync)
 
     # ------------------------------------------------------------------
     def register(
@@ -129,16 +194,20 @@ class DynamicGraphSession:
             query=query,
             state=state,
             graph=replica,
+            algorithm=algorithm,
         )
         if listener is not None:
             registered.listeners.append(listener)
         self._queries[name] = registered
+        # Checkpoint eagerly so recovery never has to re-run A from Δ⊥.
+        self._checkpoint_if_durable()
         return registered
 
     def unregister(self, name: str) -> None:
         if name not in self._queries:
             raise ReproError(f"query {name!r} is not registered")
         del self._queries[name]
+        self._checkpoint_if_durable()
 
     def subscribe(self, name: str, listener: Listener) -> None:
         """Call ``listener(name, result)`` after every update batch."""
@@ -154,27 +223,50 @@ class DynamicGraphSession:
             raise ReproError(f"query {name!r} is not registered") from None
 
     # ------------------------------------------------------------------
+    # Applying updates
+    # ------------------------------------------------------------------
     def update(self, delta) -> Dict[str, IncrementalResult]:
         """Apply ``ΔG`` to the graph and maintain every registered query.
 
         Returns ``{query name: ΔO result}`` and notifies listeners.
         Each query maintains its own graph replica, so per-query
         incremental applications never interfere.
+
+        The batch is validated first (typed
+        :class:`~repro.errors.BatchValidationError` subclasses, nothing
+        mutated), then WAL-logged when the session is durable, then
+        applied under a snapshot transaction: any mid-batch failure
+        rolls every replica back and raises
+        :class:`~repro.errors.TransactionError` with the original error
+        as its cause.  :class:`~repro.resilience.InjectedFault` models a
+        hard crash and propagates as-is — no rollback, no abort record —
+        leaving exactly the on-disk state :meth:`recover` must handle.
         """
         if not isinstance(delta, Batch):
             delta = Batch(list(delta))
-        results: Dict[str, IncrementalResult] = {}
-        from .graph.updates import apply_updates
+        inject("session.pre-apply")
+        self._validate(delta)
+        seq = self._log(delta)
 
-        for registered in self._queries.values():
-            results[registered.name] = registered.incremental.apply(
-                registered.graph, registered.state, delta, registered.query
-            )
-        apply_updates(self.graph, delta)
+        txn = (
+            SessionTransaction.begin(self._queries.values())
+            if self.config.transactional
+            else None
+        )
+        results: Dict[str, IncrementalResult] = {}
+        try:
+            for registered in self._queries.values():
+                inject("session.mid-apply")
+                results[registered.name] = self._apply_to_query(registered, delta, seq)
+            apply_updates(self.graph, delta)
+        except InjectedFault:
+            raise  # simulated crash: the process is presumed dead mid-batch
+        except Exception as exc:
+            self._fail_batch(txn, seq, exc)
+
         self._batches_applied += 1
-        for registered in self._queries.values():
-            for listener in registered.listeners:
-                listener(registered.name, results[registered.name])
+        self._notify(results)
+        self._run_cadences()
         return results
 
     def update_stream(self, stream) -> Dict[str, Any]:
@@ -188,28 +280,408 @@ class DynamicGraphSession:
         Returns ``{query name: StreamResult}`` with each query's composed
         ``ΔO``; listeners are *not* called per op — read the composed
         result instead.
+
+        The stream enjoys the same guarantees as :meth:`update`: every
+        batch is validated (against the graph *as the stream leaves it*,
+        simulated on a scratch copy), WAL-logged, and the whole stream is
+        applied under one transaction — a failure anywhere rolls back to
+        the pre-stream snapshot and aborts every logged batch.
         """
         stream = [
             item if isinstance(item, Batch) else Batch([item]) for item in stream
         ]
-        results: Dict[str, Any] = {}
-        from .graph.updates import apply_updates
-
-        for registered in self._queries.values():
-            if hasattr(registered.incremental, "apply_stream"):
-                results[registered.name] = registered.incremental.apply_stream(
-                    registered.graph, registered.state, stream, registered.query
-                )
-            else:  # non-spec incrementals (IncDFS, ...) apply op by op
-                for batch in stream:
-                    results[registered.name] = registered.incremental.apply(
-                        registered.graph, registered.state, batch, registered.query
-                    )
+        if not stream:
+            return {}
+        scratch = self.graph.copy()
         for batch in stream:
-            apply_updates(self.graph, batch)
-            self._batches_applied += 1
+            self._validate(batch, graph=scratch)
+            apply_updates(scratch, batch)
+        seqs = [self._log(batch) for batch in stream]
+
+        txn = (
+            SessionTransaction.begin(self._queries.values())
+            if self.config.transactional
+            else None
+        )
+        results: Dict[str, Any] = {}
+        try:
+            for registered in self._queries.values():
+                if registered.quarantined:
+                    continue  # recomputed once, off the final graph, below
+                if hasattr(registered.incremental, "apply_stream"):
+                    results[registered.name] = registered.incremental.apply_stream(
+                        registered.graph, registered.state, stream, registered.query
+                    )
+                else:  # non-spec incrementals (IncDFS, ...) apply op by op
+                    for batch in stream:
+                        results[registered.name] = registered.incremental.apply(
+                            registered.graph, registered.state, batch, registered.query
+                        )
+            for batch in stream:
+                apply_updates(self.graph, batch)
+                self._batches_applied += 1
+            for registered in self._queries.values():
+                if registered.quarantined:
+                    results[registered.name] = self._recompute(registered, None, self._seq)
+        except InjectedFault:
+            raise
+        except Exception as exc:
+            self._fail_batch(txn, seqs, exc)
+        self._run_cadences()
         return results
 
+    # ------------------------------------------------------------------
+    def _validate(self, delta: Batch, graph: Optional[Graph] = None) -> None:
+        policy = self.config.weight_policy
+        try:
+            validate_batch(
+                self.graph if graph is None else graph,
+                delta,
+                weight_policy=policy,
+                forbid_negative=policy == "spec"
+                and session_weight_requirements(
+                    r.algorithm for r in self._queries.values()
+                ),
+            )
+        except ReproError as exc:
+            self.incidents.record("validation-error", detail=str(exc), error=exc)
+            raise
+
+    def _log(self, delta: Batch) -> int:
+        """WAL-append ``delta`` under the next sequence number."""
+        seq = self._seq + 1
+        if self._wal is not None:
+            try:
+                self._wal.append(seq, delta)
+            except InjectedFault:
+                raise  # crash mid-append: the torn tail is recovery's problem
+            except Exception as exc:
+                self.incidents.record("wal-error", detail=str(exc), error=exc, seq=seq)
+                raise SessionError(f"WAL append for batch {seq} failed: {exc}") from exc
+        self._seq = seq
+        return seq
+
+    def _apply_to_query(
+        self, registered: RegisteredQuery, delta: Batch, seq: int
+    ) -> IncrementalResult:
+        """Maintain one query for one batch, degrading per its health."""
+        if registered.quarantined:
+            return self._recompute(registered, delta, seq)
+        # Hand-written incrementals (IncDFS, IncCoreness) have no
+        # evaluation counter to budget; only deduced A_Δ takes max_evals.
+        budget = (
+            {"max_evals": self.config.step_budget}
+            if self.config.step_budget is not None
+            and isinstance(registered.incremental, IncrementalAlgorithm)
+            else {}
+        )
+        try:
+            result = registered.incremental.apply(
+                registered.graph, registered.state, delta, registered.query, **budget
+            )
+            registered.faults = 0
+            return result
+        except InjectedFault:
+            raise
+        except FixpointError as exc:
+            # A runaway drain (step budget, divergence) is this query's
+            # own pathology — quarantine it instead of failing the batch.
+            kind = (
+                "runaway-drain"
+                if "exceeded" in str(exc) or "max_evals" in str(exc)
+                else "apply-error"
+            )
+            self.incidents.record(kind, query=registered.name, detail=str(exc), error=exc, seq=seq)
+            return self._quarantine(registered, delta, seq, exc)
+        except Exception as exc:
+            registered.faults += 1
+            if registered.faults >= self.config.quarantine_after:
+                self.incidents.record(
+                    "apply-error",
+                    query=registered.name,
+                    detail=f"fault {registered.faults}/{self.config.quarantine_after}: {exc}",
+                    error=exc,
+                    seq=seq,
+                )
+                return self._quarantine(registered, delta, seq, exc)
+            raise
+
+    def _quarantine(
+        self, registered: RegisteredQuery, delta: Optional[Batch], seq: int, exc: BaseException
+    ) -> IncrementalResult:
+        registered.quarantined = True
+        self.incidents.record(
+            "quarantine",
+            query=registered.name,
+            detail=f"incremental path disabled after: {exc}",
+            error=exc,
+            seq=seq,
+        )
+        result = self._recompute(registered, delta, seq)
+        self.incidents.record(
+            "self-heal",
+            query=registered.name,
+            detail="state recomputed by the batch algorithm",
+            seq=seq,
+        )
+        return result
+
+    def _recompute(
+        self, registered: RegisteredQuery, delta: Optional[Batch], seq: int
+    ) -> IncrementalResult:
+        """Rebuild one query's replica and state from the reference graph.
+
+        Always starts from the session's authoritative ``self.graph``
+        (⊕ ``delta`` when the reference graph has not absorbed the batch
+        yet), so it is correct even when the query's own replica was torn
+        by a failed apply.
+        """
+        replica = self.graph.copy()
+        if delta is not None:
+            apply_updates(replica, delta)
+        old_values = dict(registered.state.values)
+        state = registered.batch.run(replica, registered.query)
+        registered.graph = replica
+        registered.state = state
+        if hasattr(registered.incremental, "_kernel_ctx"):
+            registered.incremental._kernel_ctx = None
+        return IncrementalResult(changes=_diff_values(old_values, state.values))
+
+    def _fail_batch(self, txn: Optional[SessionTransaction], seqs, exc: Exception) -> None:
+        """Roll back (when transactional) and re-raise a failed batch."""
+        if isinstance(seqs, int):
+            seqs = [seqs]
+        seq = seqs[-1] if seqs else -1
+        if txn is not None:
+            restored = txn.rollback(self._queries.values())
+            self.incidents.record(
+                "rollback",
+                detail=f"batch {seq} failed; {restored} quer{'y' if restored == 1 else 'ies'} restored",
+                error=exc,
+                seq=seq,
+            )
+            if self._wal is not None:
+                for aborted in seqs:
+                    self._wal.abort(aborted)
+            raise TransactionError(
+                f"batch {seq} failed and was rolled back: {exc}"
+            ) from exc
+        self.incidents.record("apply-error", detail=str(exc), error=exc, seq=seq)
+        raise exc
+
+    def _notify(self, results: Dict[str, IncrementalResult]) -> None:
+        """Deliver ΔO to listeners; one raising listener never starves
+        the rest (the failure is recorded as an incident instead)."""
+        for registered in self._queries.values():
+            result = results.get(registered.name)
+            for listener in registered.listeners:
+                try:
+                    inject("session.listener")
+                    listener(registered.name, result)
+                except Exception as exc:
+                    self.incidents.record(
+                        "listener-error",
+                        query=registered.name,
+                        detail=f"listener {getattr(listener, '__name__', listener)!r} raised",
+                        error=exc,
+                        seq=self._seq,
+                    )
+
+    def _run_cadences(self) -> None:
+        cfg = self.config
+        if (
+            self._wal is not None
+            and cfg.checkpoint_every
+            and self._batches_applied % cfg.checkpoint_every == 0
+        ):
+            try:
+                self.checkpoint()
+            except InjectedFault:
+                raise
+            except Exception:
+                pass  # recorded as a checkpoint-error incident
+        if cfg.audit_every and self._batches_applied % cfg.audit_every == 0:
+            self.audit(sample=cfg.audit_sample)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Path:
+        """Atomically persist the session snapshot; returns its path."""
+        if self.config.directory is None:
+            raise SessionError(
+                "session has no durable directory; pass SessionConfig(directory=...)"
+            )
+        try:
+            return write_checkpoint(
+                self.config.directory, self.graph, self._queries.values(), self._seq
+            )
+        except InjectedFault:
+            raise  # crash mid-write: the previous checkpoint is intact
+        except Exception as exc:
+            self.incidents.record("checkpoint-error", detail=str(exc), error=exc, seq=self._seq)
+            raise
+
+    def close(self) -> None:
+        """Checkpoint (when durable) and release the WAL handle."""
+        if self._wal is not None:
+            self.checkpoint()
+            self._wal.close()
+            self._wal = None
+
+    def _checkpoint_if_durable(self) -> None:
+        if self._wal is None:
+            return
+        try:
+            self.checkpoint()
+        except InjectedFault:
+            raise
+        except Exception:
+            pass  # recorded as a checkpoint-error incident
+
+    @classmethod
+    def recover(
+        cls, directory: Union[str, Path], config: Optional[SessionConfig] = None
+    ) -> "DynamicGraphSession":
+        """Rebuild a session from its durable directory after a crash.
+
+        Loads the last checkpoint (graph + every query's state — no
+        batch algorithm re-runs), then replays the WAL tail (records
+        with ``seq`` greater than the checkpoint's, skipping aborted
+        batches) through the normal per-query incremental path.  A torn
+        final WAL record — the signature of a crash mid-append — is
+        dropped and recorded as a ``wal-torn-tail`` incident; corruption
+        anywhere else raises :class:`~repro.errors.RecoveryError`.
+
+        By Lemma 2 the replayed applies converge to the same fixpoints a
+        from-scratch batch run on the final graph would produce, which is
+        exactly what the crash-recovery suite asserts.
+        """
+        directory = Path(directory)
+        doc = load_checkpoint(directory)
+        if config is None:
+            config = SessionConfig(directory=directory)
+        elif config.directory is None:
+            config = replace(config, directory=directory)
+
+        wal_path = directory / WAL_FILE
+        entries, torn = WriteAheadLog.replay(wal_path, after_seq=doc["seq"])
+
+        session = cls.__new__(cls)
+        session.graph = doc["graph"]
+        session.config = config
+        session._queries = {}
+        session._batches_applied = 0
+        session.incidents = IncidentLog(config.max_incidents)
+        session._wal = None
+        session._seq = max(doc["seq"], WriteAheadLog.last_seq(wal_path))
+
+        for entry in doc["queries"]:
+            try:
+                batch_factory, inc_factory = ALGORITHM_PAIRS[entry["algorithm"]]
+            except KeyError:
+                raise RecoveryError(
+                    f"checkpoint names unknown algorithm {entry['algorithm']!r}"
+                ) from None
+            session._queries[entry["name"]] = RegisteredQuery(
+                name=entry["name"],
+                batch=batch_factory(),
+                incremental=inc_factory(),
+                query=entry["query"],
+                state=entry["state"],
+                graph=session.graph.copy(),
+                algorithm=entry["algorithm"],
+                quarantined=entry["quarantined"],
+            )
+
+        for seq, delta in entries:
+            try:
+                for registered in session._queries.values():
+                    session._apply_to_query(registered, delta, seq)
+                apply_updates(session.graph, delta)
+            except Exception as exc:
+                raise RecoveryError(
+                    f"replaying WAL batch {seq} failed: {exc!r}"
+                ) from exc
+            session._batches_applied += 1
+        if torn:
+            session.incidents.record(
+                "wal-torn-tail",
+                detail=f"dropped torn final record of {wal_path}",
+                seq=session._seq,
+            )
+            # Drop the partial line so future appends don't splice into it.
+            text = wal_path.read_text()
+            cut = text.rfind("\n") + 1
+            wal_path.write_text(text[:cut])
+
+        session._wal = WriteAheadLog(wal_path, fsync=config.fsync)
+        # Fold the replayed tail into a fresh checkpoint immediately.
+        session._checkpoint_if_durable()
+        return session
+
+    # ------------------------------------------------------------------
+    # Audits and healing
+    # ------------------------------------------------------------------
+    def audit(
+        self,
+        full: bool = False,
+        sample: Optional[int] = None,
+        heal: bool = True,
+    ) -> AuditReport:
+        """Check every query's state against the σ_A fixpoint invariant.
+
+        The default probe re-evaluates a ``sample`` of each spec-backed
+        query's update functions against the live assignment and compares
+        the variable set to ``Ψ_A(G)``; ``full=True`` (and every query
+        without a spec, e.g. DFS) diffs against a from-scratch batch run
+        instead.  Divergent queries are recorded, quarantined, and — with
+        ``heal=True`` — immediately self-healed by batch recomputation.
+        """
+        if sample is None:
+            sample = self.config.audit_sample
+        report = AuditReport()
+        for registered in self._queries.values():
+            spec = getattr(registered.batch, "spec", None)
+            if spec is not None and not full:
+                entry = sigma_audit(
+                    spec, registered.graph, registered.state, registered.query, sample=sample
+                )
+            else:
+                entry = full_audit(
+                    registered.batch, registered.graph, registered.state, registered.query
+                )
+            entry.query = registered.name
+            if not entry.clean:
+                self.incidents.record(
+                    "audit-divergence",
+                    query=registered.name,
+                    detail=f"{len(entry.findings)} finding(s), e.g. "
+                    f"{entry.findings[0].kind} at {entry.findings[0].key!r}",
+                    seq=self._seq,
+                )
+                registered.quarantined = True
+                if heal:
+                    self._recompute(registered, None, self._seq)
+                    entry.healed = True
+                    self.incidents.record(
+                        "self-heal",
+                        query=registered.name,
+                        detail="divergent state recomputed by the batch algorithm",
+                        seq=self._seq,
+                    )
+            report.entries.append(entry)
+        return report
+
+    def heal(self, name: str) -> None:
+        """Recompute a quarantined query and restore its incremental path."""
+        registered = self._query(name)
+        self._recompute(registered, None, self._seq)
+        registered.quarantined = False
+        registered.faults = 0
+        self.incidents.record("healed", query=name, detail="quarantine lifted", seq=self._seq)
+
+    # ------------------------------------------------------------------
     def answer(self, name: str) -> Any:
         """The current ``Q(G)`` of a registered query."""
         registered = self._query(name)

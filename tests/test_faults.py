@@ -1,0 +1,170 @@
+"""Deterministic fault injection (repro.resilience.faults)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    inject,
+    injected,
+    install,
+)
+
+
+class TestFaultPlan:
+    def test_fires_on_first_hit_by_default(self):
+        plan = FaultPlan("wal.mid-append")
+        with pytest.raises(InjectedFault) as info:
+            plan.hit("wal.mid-append")
+        assert info.value.site == "wal.mid-append"
+        assert info.value.hit == 1
+
+    def test_fires_on_nth_hit(self):
+        plan = FaultPlan("session.mid-apply:3")
+        plan.hit("session.mid-apply")
+        plan.hit("session.mid-apply")
+        with pytest.raises(InjectedFault) as info:
+            plan.hit("session.mid-apply")
+        assert info.value.hit == 3
+        # a single-shot trigger does not fire again
+        plan.hit("session.mid-apply")
+        assert plan.fired == ["session.mid-apply"]
+
+    def test_times_window(self):
+        plan = FaultPlan("engine.fixpoint:2:2")
+        plan.hit("engine.fixpoint")
+        for expected_hit in (2, 3):
+            with pytest.raises(InjectedFault) as info:
+                plan.hit("engine.fixpoint")
+            assert info.value.hit == expected_hit
+        plan.hit("engine.fixpoint")  # window exhausted
+
+    def test_times_zero_fires_forever(self):
+        plan = FaultPlan("kernel.mid-drain:1:0")
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                plan.hit("kernel.mid-drain")
+
+    def test_unarmed_site_only_counts(self):
+        plan = FaultPlan("wal.mid-append")
+        plan.hit("checkpoint.mid-write")
+        assert plan.hits("checkpoint.mid-write") == 1
+        assert plan.fired == []
+
+    def test_parse_comma_list(self):
+        plan = FaultPlan.parse("wal.mid-append:2, checkpoint.mid-write")
+        plan.hit("wal.mid-append")
+        with pytest.raises(InjectedFault):
+            plan.hit("checkpoint.mid-write")
+        with pytest.raises(InjectedFault):
+            plan.hit("wal.mid-append")
+
+    def test_malformed_trigger_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan("site:not-a-number")
+        with pytest.raises(ReproError):
+            FaultPlan(":1")
+        with pytest.raises(ReproError):
+            FaultPlan(("site", 0))  # hit indices are 1-based
+
+    def test_custom_exception(self):
+        class Boom(Exception):
+            def __init__(self, site, hit):
+                self.site = site
+
+        plan = FaultPlan("session.listener", exception=Boom)
+        with pytest.raises(Boom):
+            plan.hit("session.listener")
+
+
+class TestGlobalPlan:
+    def test_inject_is_noop_without_plan(self):
+        assert active_plan() is None
+        inject("session.mid-apply")  # must not raise
+
+    def test_injected_context_arms_and_disarms(self):
+        with injected("session.mid-apply") as plan:
+            assert active_plan() is plan
+            with pytest.raises(InjectedFault):
+                inject("session.mid-apply")
+        assert active_plan() is None
+        inject("session.mid-apply")
+
+    def test_injected_contexts_nest(self):
+        with injected("wal.mid-append") as outer:
+            with injected("checkpoint.mid-write"):
+                inject("wal.mid-append")  # inner plan doesn't arm this site
+            assert active_plan() is outer
+
+    def test_install_returns_previous(self):
+        plan = FaultPlan("wal.mid-append")
+        assert install(plan) is None
+        assert install(None) is plan
+
+    def test_known_sites_cover_the_documented_surface(self):
+        assert {
+            "session.pre-apply",
+            "session.mid-apply",
+            "session.listener",
+            "incremental.mid-apply",
+            "kernel.mid-drain",
+            "scheduler.mid-stream",
+            "engine.fixpoint",
+            "wal.mid-append",
+            "checkpoint.mid-write",
+        } <= KNOWN_SITES
+
+
+class TestEnvironmentPlan:
+    def _run(self, env_value: str, code: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ, REPRO_FAULTS=env_value)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.path.dirname(__file__), "..", "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        return subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+
+    def test_trigger_spec_arms_a_process_wide_plan(self):
+        proc = self._run(
+            "engine.fixpoint",
+            "from repro.resilience.faults import active_plan\n"
+            "assert active_plan() is not None\n"
+            "from repro.algorithms import Dijkstra\n"
+            "from repro.core.engine import run_batch\n"
+            "from repro import Graph\n"
+            "g = Graph(directed=True); g.add_edge(0, 1, weight=1.0)\n"
+            "run_batch(Dijkstra().spec, g, 0, engine='generic')\n",
+        )
+        assert proc.returncode != 0
+        assert "InjectedFault" in proc.stderr
+
+    def test_off_disables_injection_entirely(self):
+        proc = self._run(
+            "off",
+            "from repro.resilience import faults\n"
+            "faults.install(faults.FaultPlan('engine.fixpoint'))\n"
+            "faults.inject('engine.fixpoint')\n"  # shim swallows the hit
+            "print('survived')\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "survived" in proc.stdout
+
+    def test_smoke_value_enables_without_arming(self):
+        proc = self._run(
+            "smoke",
+            "from repro.resilience.faults import active_plan\n"
+            "assert active_plan() is None\n"
+            "print('ok')\n",
+        )
+        assert proc.returncode == 0, proc.stderr

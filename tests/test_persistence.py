@@ -104,3 +104,62 @@ class TestRealStates:
         path = tmp_path / "sim.json"
         dump_state(state, path)
         assert load_state(path).values == state.values
+
+
+class TestHardenedEncoding:
+    """ISSUE satellite: NaN, deep nesting, and actionable version errors."""
+
+    def _round_trip(self, state):
+        buffer = io.StringIO()
+        dump_state(state, buffer)
+        buffer.seek(0)
+        return load_state(buffer)
+
+    def test_nan_value_round_trips_as_nan(self):
+        state = FixpointState()
+        state.seed("x", math.nan)
+        back = self._round_trip(state)
+        assert math.isnan(back.values["x"])  # NaN != NaN: compare via isnan
+
+    def test_nan_emits_strict_json(self):
+        # json.dumps would otherwise write a bare NaN token that strict
+        # parsers (and our own loader with a strict parse) reject.
+        import json
+
+        state = FixpointState()
+        state.seed("x", math.nan)
+        buffer = io.StringIO()
+        dump_state(state, buffer)
+        doc = json.loads(buffer.getvalue(), parse_constant=lambda token: pytest.fail(
+            f"non-standard JSON constant {token!r} in output"
+        ))
+        assert doc["entries"][0][1] == {"f": "nan"}
+
+    def test_nan_inside_tuples(self):
+        state = FixpointState()
+        state.seed(("d", 3), (math.nan, math.inf, -math.inf))
+        back = self._round_trip(state)
+        value = back.values[("d", 3)]
+        assert math.isnan(value[0])
+        assert value[1] == math.inf and value[2] == -math.inf
+
+    def test_deeply_nested_tuple_keys(self):
+        key = ((("a", 1), ("b", (2, 3))), ("c",))
+        state = FixpointState()
+        state.seed(key, ((1, (2,)), None))
+        back = self._round_trip(state)
+        assert back.values == {key: ((1, (2,)), None)}
+
+    def test_version_error_names_both_versions(self):
+        buffer = io.StringIO('{"version": 99, "clock": 0, "entries": []}')
+        with pytest.raises(ReproError) as info:
+            load_state(buffer)
+        message = str(info.value)
+        assert "99" in message and "version 1" in message
+        assert "re-run" in message  # tells the operator how to recover
+
+    def test_unknown_encoded_marker_rejected(self):
+        from repro.core.persistence import _decode
+
+        with pytest.raises(ReproError):
+            _decode({"z": 1})

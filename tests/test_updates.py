@@ -314,3 +314,154 @@ class TestNormalizedNetEffect:
         full = updated_copy(g, consistent)
         net = updated_copy(g, consistent.normalized(directed=directed))
         assert full == net
+
+
+class TestValidateMirrorsStrictApply:
+    """Property: the session's up-front validator is *exactly* strict apply.
+
+    ``validate_batch(G, ΔG)`` must raise iff
+    ``apply_updates(G.copy(), ΔG, strict=True)`` would raise — on any op
+    soup, including self-loops, vertex churn, and updates referencing
+    nodes removed earlier in the same batch — and must never mutate the
+    graph it validates against, whichever way the verdict goes.
+    """
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    node = st.integers(min_value=0, max_value=5)
+    op = st.one_of(
+        st.tuples(st.just("+e"), node, node, st.integers(min_value=0, max_value=3)),
+        st.tuples(st.just("-e"), node, node, st.just(0)),
+        st.tuples(st.just("+v"), node, st.just(0), st.just(0)),
+        st.tuples(st.just("-v"), node, st.just(0), st.just(0)),
+    )
+    ops = st.lists(op, min_size=1, max_size=10)
+    seeds = st.integers(min_value=0, max_value=2**16)
+
+    @staticmethod
+    def _materialize(raw):
+        out = []
+        for kind, a, b, w in raw:
+            if kind == "+e":
+                out.append(EdgeInsertion(a, b, weight=float(w)))
+            elif kind == "-e":
+                out.append(EdgeDeletion(a, b))
+            elif kind == "+v":
+                out.append(VertexInsertion(a))
+            else:
+                out.append(VertexDeletion(a))
+        return Batch(out)
+
+    @given(raw=ops, seed=seeds, directed=st.booleans())
+    @settings(deadline=None, max_examples=150)
+    def test_raises_iff_strict_apply_raises_and_never_mutates(
+        self, raw, seed, directed
+    ):
+        from repro.errors import BatchValidationError
+        from repro.resilience.validate import validate_batch
+
+        base = TestNormalizedNetEffect._base_graph(seed, directed)
+        batch = self._materialize(raw)
+        fingerprint = base.copy()
+
+        strict_error = None
+        try:
+            apply_updates(base.copy(), batch, strict=True)
+        except UpdateError as exc:
+            strict_error = exc
+
+        validation_error = None
+        try:
+            validate_batch(base, batch, weight_policy="any")
+        except BatchValidationError as exc:
+            validation_error = exc
+
+        assert (strict_error is None) == (validation_error is None), (
+            f"strict apply said {strict_error!r}, validator said "
+            f"{validation_error!r} for {batch.updates}"
+        )
+        assert base == fingerprint  # validation never mutates
+
+
+class TestValidateEdgeCases:
+    """Pinned edge cases for the batch validator (ISSUE satellite)."""
+
+    def _graph(self):
+        return from_edges([(0, 1), (1, 2)], weights=[1.0, 2.0], directed=True)
+
+    def test_self_loops_validate_like_strict_apply(self):
+        from repro.resilience.validate import validate_batch
+
+        g = self._graph()
+        validate_batch(g, Batch([EdgeInsertion(0, 0, weight=1.0)]))  # legal
+        g.add_edge(0, 0, weight=1.0)
+        from repro.errors import ContradictoryUpdateError
+
+        with pytest.raises(ContradictoryUpdateError):
+            validate_batch(g, Batch([EdgeInsertion(0, 0, weight=2.0)]))
+
+    def test_update_referencing_node_removed_earlier_in_batch(self):
+        from repro.errors import UnknownNodeError
+        from repro.resilience.validate import validate_batch
+
+        g = self._graph()
+        with pytest.raises(UnknownNodeError) as info:
+            validate_batch(
+                g, Batch([VertexDeletion(1), EdgeInsertion(2, 3, weight=1.0),
+                          EdgeDeletion(0, 1)])
+            )
+        assert info.value.index == 2
+
+    def test_reinsert_after_removal_starts_isolated(self):
+        from repro.errors import ContradictoryUpdateError
+        from repro.resilience.validate import validate_batch
+
+        g = self._graph()
+        # deleting node 1 drops edge (0, 1); re-creating node 1 does not
+        # resurrect it, so deleting (0, 1) afterwards is contradictory
+        with pytest.raises(ContradictoryUpdateError):
+            validate_batch(
+                g,
+                Batch([VertexDeletion(1), VertexInsertion(1), EdgeDeletion(0, 1)]),
+            )
+        # ...but re-adding the edge is fine
+        validate_batch(
+            g,
+            Batch(
+                [VertexDeletion(1), VertexInsertion(1), EdgeInsertion(0, 1, weight=1.0)]
+            ),
+        )
+
+    def test_zero_weight_is_always_legal(self):
+        from repro.resilience.validate import validate_batch
+
+        g = self._graph()
+        for policy in ("any", "finite", "spec"):
+            validate_batch(
+                g, Batch([EdgeInsertion(0, 2, weight=0.0)]), weight_policy=policy,
+                forbid_negative=True,
+            )
+
+    def test_negative_weight_only_rejected_under_spec_policy(self):
+        from repro.errors import InvalidWeightError
+        from repro.resilience.validate import validate_batch
+
+        g = self._graph()
+        delta = Batch([EdgeInsertion(0, 2, weight=-1.0)])
+        validate_batch(g, delta, weight_policy="any")
+        validate_batch(g, delta, weight_policy="finite")
+        validate_batch(g, delta, weight_policy="spec", forbid_negative=False)
+        with pytest.raises(InvalidWeightError):
+            validate_batch(g, delta, weight_policy="spec", forbid_negative=True)
+
+    def test_vertex_insertion_edges_are_weight_checked(self):
+        from repro.errors import InvalidWeightError
+        from repro.resilience.validate import validate_batch
+
+        g = self._graph()
+        delta = Batch(
+            [VertexInsertion(9, edges=(EdgeInsertion(9, 0, weight=float("nan")),))]
+        )
+        with pytest.raises(InvalidWeightError):
+            validate_batch(g, delta, weight_policy="finite")

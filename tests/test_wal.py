@@ -1,0 +1,126 @@
+"""Write-ahead log round trips, aborts, and torn-tail handling."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.graph.updates import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    VertexDeletion,
+    VertexInsertion,
+)
+from repro.resilience.faults import InjectedFault, injected
+from repro.resilience.wal import WriteAheadLog, decode_batch, decode_update, encode_batch, encode_update
+
+
+def _sample_batch() -> Batch:
+    return Batch(
+        [
+            EdgeInsertion(0, 1, weight=2.5),
+            EdgeDeletion(1, 2),
+            VertexInsertion("hub", label="b", edges=(EdgeInsertion("hub", 0, weight=1.0),)),
+            VertexDeletion(3),
+        ]
+    )
+
+
+class TestEncoding:
+    def test_round_trip_preserves_every_op(self):
+        batch = _sample_batch()
+        again = decode_batch(encode_batch(batch))
+        assert [type(u) for u in again] == [type(u) for u in batch]
+        assert again.updates[0].weight == 2.5
+        assert again.updates[2].v == "hub"
+        assert again.updates[2].label == "b"
+        assert again.updates[2].edges[0].u == "hub"
+
+    def test_tuple_keys_and_nonfinite_weights_survive(self):
+        op = EdgeInsertion((1, "a"), (2, "b"), weight=math.inf)
+        again = decode_update(encode_update(op))
+        assert again.u == (1, "a")
+        assert again.v == (2, "b")
+        assert again.weight == math.inf
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(RecoveryError):
+            decode_update({"op": "??"})
+
+
+class TestReplay:
+    def test_append_then_replay(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(0, Batch([EdgeInsertion(0, 1, weight=1.0)]))
+        wal.append(1, _sample_batch())
+        wal.close()
+        entries, torn = WriteAheadLog.replay(path)
+        assert not torn
+        assert [seq for seq, _ in entries] == [0, 1]
+        assert entries[1][1].size == _sample_batch().size
+
+    def test_after_seq_filters_the_prefix(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        for seq in range(4):
+            wal.append(seq, Batch([EdgeInsertion(seq, seq + 1, weight=1.0)]))
+        wal.close()
+        entries, _ = WriteAheadLog.replay(path, after_seq=1)
+        assert [seq for seq, _ in entries] == [2, 3]
+
+    def test_aborted_batches_are_skipped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(0, Batch([EdgeInsertion(0, 1, weight=1.0)]))
+        wal.append(1, Batch([EdgeInsertion(1, 2, weight=1.0)]))
+        wal.abort(1)
+        wal.append(2, Batch([EdgeInsertion(2, 3, weight=1.0)]))
+        wal.close()
+        entries, _ = WriteAheadLog.replay(path)
+        assert [seq for seq, _ in entries] == [0, 2]
+        assert WriteAheadLog.last_seq(path) == 2
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        entries, torn = WriteAheadLog.replay(tmp_path / "absent.jsonl")
+        assert entries == [] and torn is False
+        assert WriteAheadLog.last_seq(tmp_path / "absent.jsonl") == -1
+
+    def test_torn_final_line_is_dropped_and_reported(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append(0, Batch([EdgeInsertion(0, 1, weight=1.0)]))
+        with pytest.raises(InjectedFault):
+            with injected("wal.mid-append"):
+                wal.append(1, Batch([EdgeInsertion(1, 2, weight=1.0)]))
+        wal.close()
+        entries, torn = WriteAheadLog.replay(path)
+        assert torn is True
+        assert [seq for seq, _ in entries] == [0]
+
+    def test_mid_file_corruption_is_fatal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        good = json.dumps({"v": 1, "seq": 0, "ops": []})
+        path.write_text("not json at all\n" + good + "\n")
+        with pytest.raises(RecoveryError):
+            WriteAheadLog.replay(path)
+
+    def test_unsupported_record_version_is_fatal_mid_file(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        good = json.dumps({"v": 1, "seq": 0, "ops": []})
+        bad = json.dumps({"v": 99, "seq": 1, "ops": []})
+        path.write_text(bad + "\n" + good + "\n")
+        with pytest.raises(RecoveryError):
+            WriteAheadLog.replay(path)
+
+    def test_closed_wal_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.close()
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            wal.append(0, Batch([]))
