@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Serving-layer load benchmarks, recorded to ``BENCH_serve.json``.
+
+Two modes:
+
+``--smoke``
+    Fast CI gate: start a server on an ephemeral port, run ~2 seconds
+    of mixed read/write closed-loop load from concurrent clients, then
+    assert (a) the differential isolation check finds **zero torn
+    reads** — every served answer equals a from-scratch batch
+    recomputation at its reported WAL sequence number, (b) reads and
+    writes actually flowed, and (c) the service drains and shuts down
+    cleanly.  Exits non-zero on any failure.
+
+default (full)
+    Timed load runs against an in-process server, one per workload mix:
+
+    * ``read_heavy`` — 95% reads / 5% writes, the standing-query
+      serving regime the snapshot store is built for;
+    * ``write_heavy`` — 50% reads / 50% writes, stressing the writer
+      window batching and admission queue.
+
+    Each records throughput (ops/s) and read/write latency percentiles
+    (p50/p99) plus the service's own window counters.  The JSON file is
+    append-only across PRs: each invocation keeps earlier runs' rows
+    and appends its own under the next run number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.generators import assign_weights, erdos_renyi
+from repro.serve import QueryServer, QueryService, ServiceConfig, run_load, verify_isolation
+from repro.session import DynamicGraphSession
+
+QUERIES = {"cc": ("CC", None), "sssp": ("SSSP", 0), "sswp": ("SSWP", 0)}
+
+
+def make_graph(edges: int, seed: int = 7):
+    n = max(edges // 10, 8)
+    return assign_weights(erdos_renyi(n, edges, directed=False, seed=seed), seed=seed)
+
+
+def start_server(edges: int, queue_size: int = 256):
+    graph = make_graph(edges)
+    service = QueryService(DynamicGraphSession(graph), ServiceConfig(queue_size=queue_size))
+    for name, (algorithm, query) in QUERIES.items():
+        service.register(name, algorithm, query=query)
+    service.start()
+    server = QueryServer(service, port=0).start()
+    return graph, service, server
+
+
+def run_mix(server, service, graph, *, name, read_fraction, duration, threads, seed):
+    host, port = server.address
+    base_seq = service.session.seq
+    base_graph = service.session.graph.copy()
+    service.stats(reset_window=True)  # roll the window so counters are per-mix
+    report = run_load(
+        host,
+        port,
+        list(QUERIES),
+        duration=duration,
+        read_fraction=read_fraction,
+        threads=threads,
+        base_nodes=list(graph.nodes())[:32],
+        seed=seed,
+    )
+    violations = verify_isolation(base_graph, QUERIES, report, base_seq=base_seq)
+    window = service.stats(reset_window=True)["window"]
+    summary = report.summary()
+    entry = {
+        "name": name,
+        "edges": graph.num_edges,
+        "nodes": graph.num_nodes,
+        "threads": threads,
+        "read_fraction": read_fraction,
+        "reads": report.reads,
+        "writes": report.writes,
+        "throughput_ops_s": summary["throughput_ops_s"],
+        "read_p50_ms": round(summary["read_latency_s"]["p50"] * 1e3, 3),
+        "read_p99_ms": round(summary["read_latency_s"]["p99"] * 1e3, 3),
+        "write_p50_ms": round(summary["write_latency_s"]["p50"] * 1e3, 3),
+        "write_p99_ms": round(summary["write_latency_s"]["p99"] * 1e3, 3),
+        "windows": window["windows"],
+        "shed_overloaded": window["shed_overloaded"],
+        "shed_deadline": window["shed_deadline"],
+        "isolation_violations": len(violations),
+    }
+    print(
+        f"{name:12s} {entry['throughput_ops_s']:10.0f} ops/s  "
+        f"read p50 {entry['read_p50_ms']:.2f}ms p99 {entry['read_p99_ms']:.2f}ms  "
+        f"write p50 {entry['write_p50_ms']:.2f}ms p99 {entry['write_p99_ms']:.2f}ms  "
+        f"violations={len(violations)}"
+    )
+    return entry, violations
+
+
+def smoke() -> int:
+    graph, service, server = start_server(edges=400)
+    try:
+        entry, violations = run_mix(
+            server,
+            service,
+            graph,
+            name="smoke",
+            read_fraction=0.8,
+            duration=2.0,
+            threads=8,
+            seed=17,
+        )
+        if violations:
+            for violation in violations[:5]:
+                print(f"FAIL: {violation}", file=sys.stderr)
+            return 1
+        if entry["reads"] == 0 or entry["writes"] == 0:
+            print(
+                f"FAIL: degenerate load (reads={entry['reads']}, writes={entry['writes']})",
+                file=sys.stderr,
+            )
+            return 1
+    finally:
+        server.stop()
+        service.close()
+    if not service.closed:
+        print("FAIL: service did not close cleanly", file=sys.stderr)
+        return 1
+    print(
+        f"smoke OK: {entry['reads']} reads / {entry['writes']} writes, "
+        "0 isolation violations, clean shutdown"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="fast CI isolation gate")
+    parser.add_argument("--duration", type=float, default=4.0, help="seconds per mix")
+    parser.add_argument("--threads", type=int, default=8, help="client threads")
+    parser.add_argument("--edges", type=int, default=2_000, help="base graph size")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
+        help="output JSON path (full mode)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+
+    graph, service, server = start_server(edges=args.edges)
+    results = []
+    try:
+        for seed, (name, read_fraction) in enumerate(
+            (("read_heavy", 0.95), ("write_heavy", 0.5)), start=29
+        ):
+            entry, violations = run_mix(
+                server,
+                service,
+                graph,
+                name=name,
+                read_fraction=read_fraction,
+                duration=args.duration,
+                threads=args.threads,
+                seed=seed,
+            )
+            if violations:
+                for violation in violations[:5]:
+                    print(f"FAIL: {violation}", file=sys.stderr)
+                return 1
+            if entry["reads"] == 0 or entry["writes"] == 0:
+                print(
+                    f"FAIL: {name} degenerate load "
+                    f"(reads={entry['reads']}, writes={entry['writes']})",
+                    file=sys.stderr,
+                )
+                return 1
+            results.append(entry)
+    finally:
+        server.stop()
+        service.close()
+
+    existing = []
+    if args.out.exists():
+        existing = json.loads(args.out.read_text()).get("results", [])
+    run = max((entry.get("run", 1) for entry in existing), default=0) + 1
+    for entry in results:
+        entry["run"] = run
+
+    payload = {
+        "schema": 1,
+        "suite": "serve",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": existing + results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out} (run {run})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

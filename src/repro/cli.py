@@ -96,22 +96,9 @@ def read_updates(path: str) -> Batch:
     return batch
 
 
-def _jsonable(answer: Any) -> Any:
-    if isinstance(answer, dict):
-        return {str(k): _jsonable(v) for k, v in answer.items()}
-    if isinstance(answer, (set, frozenset)):
-        return sorted([_jsonable(v) for v in answer], key=str)
-    if isinstance(answer, tuple):
-        return list(answer)
-    if isinstance(answer, float) and answer == float("inf"):
-        return "inf"
-    if hasattr(answer, "first") and hasattr(answer, "parent"):  # DFSResult
-        return {
-            "first": _jsonable(answer.first),
-            "last": _jsonable(answer.last),
-            "parent": _jsonable(answer.parent),
-        }
-    return answer
+# The canonical JSON rendering of algorithm answers lives in the serving
+# protocol (the wire format and the CLI must agree on it).
+from .serve.protocol import jsonable as _jsonable  # noqa: E402
 
 
 def _resolve(algo_name: str) -> Tuple[Any, Any]:
@@ -231,6 +218,59 @@ def cmd_audit(args) -> int:
     return 0 if report.clean else 1
 
 
+def _parse_register(spec: str) -> Tuple[str, str, Any]:
+    """Parse one ``--register NAME=ALGO[:QUERY]`` specification."""
+    name, eq, rest = spec.partition("=")
+    if not eq or not name or not rest:
+        raise ReproError(
+            f"bad --register {spec!r}: expected NAME=ALGO or NAME=ALGO:QUERY"
+        )
+    algo, colon, query_token = rest.partition(":")
+    canonical, _pair = _resolve(algo)
+    if canonical in _NEEDS_SOURCE and not colon:
+        raise ReproError(f"{canonical} requires a query: --register {name}={canonical}:SOURCE")
+    if canonical == "Sim":
+        raise ReproError("Sim needs a pattern graph; register it programmatically")
+    query = _parse_node(query_token) if colon else None
+    return name, canonical, query
+
+
+def cmd_serve(args) -> int:
+    from .resilience import SessionConfig
+    from .serve import QueryService, ServiceConfig, serve_forever
+    from .session import DynamicGraphSession
+
+    registrations = [_parse_register(spec) for spec in (args.register or [])]
+    if args.recover:
+        session = DynamicGraphSession.recover(args.recover)
+    else:
+        if args.graph is None:
+            raise ReproError("serve needs a GRAPH (or --recover DIR)")
+        wants_undirected = {a for _n, a, _q in registrations if a in _UNDIRECTED_ONLY}
+        if args.directed and wants_undirected:
+            raise ReproError(
+                f"{', '.join(sorted(wants_undirected))} only run on undirected "
+                "graphs; drop --directed or those registrations"
+            )
+        graph = load_graph(args.graph, directed=args.directed, labeled=args.labeled)
+        config = SessionConfig(directory=args.directory) if args.directory else None
+        session = DynamicGraphSession(graph, config=config)
+
+    service = QueryService(
+        session,
+        ServiceConfig(queue_size=args.queue_size, write_window=args.window),
+    )
+    try:
+        for name, algorithm, query in registrations:
+            service.register(name, algorithm, query=query)
+    except ReproError:
+        service.close(drain=False)
+        raise
+    service.start()
+    serve_forever(service, args.host, args.port)
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .lint import builtin_specs, lint_specs
     from .lint.rules import get as get_rule
@@ -333,6 +373,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_audit.set_defaults(func=cmd_audit)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve standing incremental queries over TCP (JSON lines)",
+        description=(
+            "Start the concurrent query service: a single writer thread "
+            "maintains the registered incremental queries while clients "
+            "read snapshot-isolated answers, stream updates, and long-poll "
+            "for changes.  See docs/serving.md for the protocol, the "
+            "isolation model, and the overload behaviour."
+        ),
+    )
+    p_serve.add_argument(
+        "graph", nargs="?", default=None, help="edge-list path or @DATASET (omit with --recover)"
+    )
+    p_serve.add_argument("--directed", action="store_true", help="treat the graph as directed")
+    p_serve.add_argument("--labeled", action="store_true", help="parse 'u ulabel v vlabel [w]' lines")
+    p_serve.add_argument(
+        "--recover",
+        metavar="DIR",
+        default=None,
+        help="recover a durable session directory instead of loading GRAPH",
+    )
+    p_serve.add_argument(
+        "--directory",
+        metavar="DIR",
+        default=None,
+        help="make the session durable (WAL + checkpoints) in DIR",
+    )
+    p_serve.add_argument(
+        "--register",
+        action="append",
+        metavar="NAME=ALGO[:QUERY]",
+        help="register a standing query (repeatable), e.g. cc=CC or d0=SSSP:0",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=7227, help="bind port (0 = ephemeral)")
+    p_serve.add_argument(
+        "--queue-size", type=int, default=256, help="admission queue bound (Overloaded beyond it)"
+    )
+    p_serve.add_argument(
+        "--window", type=int, default=32, help="max update batches coalesced per writer window"
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
     p_lint = sub.add_parser(
         "lint",
         help="verify FixpointSpec contracts (C1/C2, anchors, push-mode)",
@@ -380,7 +464,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
+        # OSError covers the filesystem-shaped failures (missing files,
+        # a checkpoint path that is a directory, permission errors):
+        # operator mistakes deserve one line on stderr, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

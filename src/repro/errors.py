@@ -95,6 +95,38 @@ class RecoveryError(SessionError):
     """A session checkpoint or WAL cannot be loaded or replayed."""
 
 
+class ServeError(SessionError):
+    """A concurrent query-service failure (:mod:`repro.serve`)."""
+
+
+class Overloaded(ServeError):
+    """The service shed the request: its bounded write queue is full.
+
+    Back off and retry; the request was **not** enqueued and will never
+    be applied.  :attr:`depth` carries the queue depth at rejection.
+    """
+
+    def __init__(self, message: str = "write queue is full", depth: int = -1) -> None:
+        super().__init__(message)
+        self.depth = depth
+
+
+class Deadline(ServeError):
+    """The request's deadline expired before it completed.
+
+    For writes this is *ambiguous on the commit side*: an op whose
+    deadline expires while queued is shed un-applied, but an op whose
+    deadline expires during the apply itself may still commit — observe
+    the outcome through a subsequent read's sequence number.  For
+    ``watch`` long-polls it simply means no newer version arrived in
+    time.
+    """
+
+
+class ServiceClosed(ServeError):
+    """The service is shutting down (or closed) and admits no new work."""
+
+
 class FixpointError(ReproError):
     """A fixpoint specification is inconsistent or its run diverged."""
 

@@ -57,6 +57,34 @@ class StreamResult:
     coalesced_away: int = 0      #: updates cancelled by normalization
     stats: List[Dict[str, Any]] = field(default_factory=list)  #: per-apply
 
+    def kernel_totals(self) -> Dict[str, int]:
+        """Sum this stream's per-apply counters into one window total.
+
+        Every apply contributes its *own* fresh counters — per-apply
+        ``kernel_stats`` dicts are born zeroed, never carried across
+        applies — so the sum is exactly the work of this stream and
+        nothing before it.  This is what the serve ``stats`` endpoint
+        accumulates (and resets) per reporting window, keeping
+        touched/writes numbers per-window instead of cumulative-forever.
+        """
+        totals = {
+            "applies": self.applies,
+            "kernel_applies": self.kernel_applies,
+            "generic_applies": self.generic_applies,
+            "touched": 0,
+            "writes": 0,
+            "pops": 0,
+            "scanned": 0,
+        }
+        for entry in self.stats:
+            totals["touched"] += entry.get("realized", 0)
+            kernel = entry.get("kernel")
+            if kernel:
+                totals["writes"] += kernel.get("writes", 0)
+                totals["pops"] += kernel.get("pops", 0)
+                totals["scanned"] += kernel.get("scanned", 0)
+        return totals
+
     def __repr__(self) -> str:
         return (
             f"StreamResult(ops={self.ops}, applies={self.applies}, "

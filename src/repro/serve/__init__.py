@@ -1,0 +1,53 @@
+"""Concurrent incremental query serving.
+
+This package turns a :class:`~repro.session.DynamicGraphSession` into a
+**serving tier**: many concurrent clients read the answers of standing
+incremental queries and stream graph updates, while exactly one writer
+thread owns the session.  The pieces:
+
+* :mod:`~repro.serve.state` — immutable :class:`AnswerSnapshot`\\ s and
+  the copy-on-write :class:`SnapshotStore` (single-writer /
+  multi-reader snapshot isolation, version-gated long-polls);
+* :mod:`~repro.serve.service` — :class:`QueryService`: the writer
+  thread, the bounded admission queue, per-request deadlines, typed
+  load shedding (:class:`~repro.errors.Overloaded`,
+  :class:`~repro.errors.Deadline`) and graceful drain on close;
+* :mod:`~repro.serve.protocol` / :mod:`~repro.serve.server` /
+  :mod:`~repro.serve.client` — a JSON-lines TCP surface
+  (:class:`QueryServer`, :class:`ServiceClient`) reusing the WAL's
+  update encoding, exposed as the ``repro serve`` CLI command;
+* :mod:`~repro.serve.loadgen` — open/closed-loop load generation with
+  Zipf query popularity plus :func:`verify_isolation`, the differential
+  checker that batch-recomputes every served read at its reported WAL
+  sequence number.
+
+The isolation contract, in one line: a read of query ``q`` returns
+``(answer, seq)`` such that ``answer`` equals a from-scratch batch run
+of ``q`` on the initial graph with exactly the update batches
+``0..seq`` applied — never a torn intermediate.  ``docs/serving.md``
+documents the protocol and the overload/degradation matrix.
+"""
+
+from .client import RemoteError, ServiceClient
+from .loadgen import LoadReport, run_load, verify_isolation
+from .protocol import PROTOCOL_VERSION, handle_request, jsonable
+from .server import QueryServer, serve_forever
+from .service import QueryService, ServiceConfig
+from .state import AnswerSnapshot, SnapshotStore
+
+__all__ = [
+    "AnswerSnapshot",
+    "LoadReport",
+    "PROTOCOL_VERSION",
+    "QueryServer",
+    "QueryService",
+    "RemoteError",
+    "ServiceClient",
+    "ServiceConfig",
+    "SnapshotStore",
+    "handle_request",
+    "jsonable",
+    "run_load",
+    "serve_forever",
+    "verify_isolation",
+]

@@ -1,0 +1,153 @@
+"""A blocking JSON-lines client for the query service.
+
+:class:`ServiceClient` is a thin, dependency-free socket wrapper used by
+the load generator, the tests, and anyone scripting against ``repro
+serve``.  It re-raises the server's typed errors
+(:class:`~repro.errors.Overloaded`, :class:`~repro.errors.Deadline`,
+validation errors, ...) as local exceptions of the matching class where
+one exists, so callers handle overload the same way in-process and over
+the wire.
+
+One client = one connection = one outstanding request at a time; use a
+client per thread (they are cheap) for concurrent load.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .. import errors as _errors
+from ..errors import Deadline, Overloaded, ReproError, ServeError, ServiceClosed
+from ..graph.updates import Batch, Update
+from ..resilience.wal import encode_update
+from .protocol import encode_query
+
+#: Server-side error type name → local exception class.
+_ERROR_TYPES: Dict[str, type] = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, _errors.ReproError)
+}
+
+
+class RemoteError(ReproError):
+    """A server-side error with no matching local class."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+def _raise_remote(error: Dict[str, Any]) -> None:
+    kind = str(error.get("type", "ReproError"))
+    message = str(error.get("message", ""))
+    cls = _ERROR_TYPES.get(kind)
+    if cls is Overloaded:
+        raise Overloaded(message)
+    if cls is not None:
+        try:
+            raise cls(message)
+        except TypeError:  # classes with non-message constructors
+            raise RemoteError(kind, message) from None
+    raise RemoteError(kind, message)
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.serve.server.QueryServer` over TCP."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        payload = json.dumps(request).encode("utf-8") + b"\n"
+        self._file.write(payload)
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceClosed("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok", False):
+            _raise_remote(response.get("error", {}))
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> int:
+        """Round-trip; returns the server's protocol version."""
+        return int(self._call({"op": "ping"})["protocol"])
+
+    def register(
+        self,
+        name: str,
+        algorithm: str,
+        query: Any = None,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        request: Dict[str, Any] = {
+            "op": "register",
+            "name": name,
+            "algorithm": algorithm,
+            "query": encode_query(query),
+        }
+        if deadline is not None:
+            request["deadline"] = deadline
+        return self._call(request)
+
+    def query(self, name: str) -> Dict[str, Any]:
+        """The current snapshot: ``{name, seq, version, answer, ...}``.
+
+        ``answer`` is the JSON rendering (string keys, ``"inf"`` for
+        infinities) of the published defensive copy.
+        """
+        return self._call({"op": "query", "name": name})
+
+    def update(
+        self,
+        updates: Iterable[Update],
+        deadline: Optional[float] = None,
+    ) -> int:
+        """Submit ``ΔG``; returns the committed WAL sequence number."""
+        ops: List[Dict[str, Any]] = [
+            encode_update(u)
+            for u in (updates.updates if isinstance(updates, Batch) else list(updates))
+        ]
+        request: Dict[str, Any] = {"op": "update", "ops": ops}
+        if deadline is not None:
+            request["deadline"] = deadline
+        return int(self._call(request)["seq"])
+
+    def watch(
+        self, name: str, after_version: int = -1, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Long-poll for a version newer than ``after_version``.
+
+        Raises :class:`~repro.errors.Deadline` when the server's timeout
+        elapsed without a newer version — re-issue to keep watching.
+        """
+        request: Dict[str, Any] = {"op": "watch", "name": name, "after_version": after_version}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._call(request)
+
+    def unregister(self, name: str) -> None:
+        self._call({"op": "unregister", "name": name})
+
+    def stats(self, reset: bool = False) -> Dict[str, Any]:
+        """Service stats; ``reset=True`` rolls the server's window."""
+        return self._call({"op": "stats", "reset": reset})["stats"]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

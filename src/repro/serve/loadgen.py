@@ -1,0 +1,344 @@
+"""Load generation and differential isolation checking for the service.
+
+Two arrival disciplines, the standard pair for service benchmarking:
+
+* **closed-loop** — ``threads`` workers issue requests back-to-back;
+  throughput is limited by service latency (the classic think-time-zero
+  closed system).  Good for "how fast can it go".
+* **open-loop** — arrivals are scheduled at a fixed aggregate ``rate``
+  regardless of completions, and latency is measured from the *scheduled*
+  arrival time, so queueing delay is charged to the service (no
+  coordinated omission).  Good for "what does p99 look like at load X".
+
+Workers mix reads and writes by ``read_fraction``.  Reads pick a query
+by a Zipf(``zipf_s``) popularity law over the registered names — the
+skewed standing-query popularity a real serving tier sees.  Writes are
+generated so they are *always valid regardless of interleaving*: each
+writer owns a private vertex and only ever touches edges incident to it,
+so concurrent writers can never produce contradictory batches, while
+still perturbing real answers (private vertices create shortcut paths
+through the base graph's nodes).
+
+Every successful write records ``(seq, ops)`` and every read records
+``(name, seq, answer)``; :func:`verify_isolation` then replays the write
+prefix ``0..seq`` onto the initial graph and batch-recomputes each read's
+answer at exactly its reported sequence number.  Any mismatch is a torn
+read — the differential isolation gate the CI smoke step enforces.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from time import monotonic, sleep
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..graph.graph import Graph
+from ..graph.updates import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    Update,
+    VertexInsertion,
+    apply_updates,
+)
+from ..metrics.latency import percentiles
+from ..session import ALGORITHM_PAIRS
+from .client import ServiceClient
+from .protocol import jsonable
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured (and recorded for verification)."""
+
+    mode: str = "closed"
+    duration: float = 0.0
+    reads: int = 0
+    writes: int = 0
+    read_errors: Dict[str, int] = field(default_factory=dict)
+    write_errors: Dict[str, int] = field(default_factory=dict)
+    read_latencies: List[float] = field(default_factory=list)
+    write_latencies: List[float] = field(default_factory=list)
+    #: (name, seq, wire answer) per successful read.
+    read_records: List[Tuple[str, int, Any]] = field(default_factory=list)
+    #: (seq, [Update, ...]) per successful write.
+    write_records: List[Tuple[int, List[Update]]] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        ops = self.reads + self.writes
+        return ops / self.duration if self.duration > 0 else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "duration_s": round(self.duration, 3),
+            "reads": self.reads,
+            "writes": self.writes,
+            "throughput_ops_s": round(self.throughput, 1),
+            "read_latency_s": percentiles(self.read_latencies),
+            "write_latency_s": percentiles(self.write_latencies),
+            "read_errors": dict(self.read_errors),
+            "write_errors": dict(self.write_errors),
+        }
+
+
+def _zipf_weights(count: int, s: float) -> List[float]:
+    return [1.0 / (rank ** s) for rank in range(1, count + 1)]
+
+
+def _private_node(tid: int, seed: int, base_nodes: List[Any]) -> Any:
+    """A fresh node id *comparable with* the base graph's node ids.
+
+    Several algorithms order node ids (CC label election, SSSP heaps),
+    so mixing ``str`` writer ids into an ``int`` graph would poison the
+    fixpoint with ``TypeError``s.  The id is salted with the run seed so
+    back-to-back runs against the same server (different seeds) don't
+    collide with vertices a previous run already inserted.
+    """
+    if all(isinstance(node, int) for node in base_nodes):
+        return 1_000_000_000 + seed * 1_000 + tid
+    return f"loadgen-{seed}-{tid}"
+
+
+class _Writer:
+    """Per-thread write-op generator over a private vertex.
+
+    All edges touch the private vertex, so batches from different
+    writers commute and never contradict; the local ``edges`` set keeps
+    each writer's own inserts/deletes consistent with the live graph.
+    """
+
+    def __init__(self, node: Any, base_nodes: List[Any], rng: random.Random) -> None:
+        self.node = node
+        self.base_nodes = base_nodes
+        self.rng = rng
+        self.edges: Dict[Tuple[Any, Any], float] = {}
+        self.introduced = False
+
+    def next_batch(self) -> List[Update]:
+        if not self.introduced:
+            self.introduced = True
+            return [VertexInsertion(self.node)]
+        rng = self.rng
+        if self.edges and (rng.random() < 0.4 or len(self.edges) > 12):
+            edge = rng.choice(list(self.edges))
+            del self.edges[edge]
+            return [EdgeDeletion(*edge)]
+        base = rng.choice(self.base_nodes)
+        edge = (base, self.node) if rng.random() < 0.5 else (self.node, base)
+        # Never hold both orientations: on an undirected graph they are
+        # the *same* edge, and re-inserting it would be contradictory.
+        for existing in (edge, (edge[1], edge[0])):
+            if existing in self.edges:
+                del self.edges[existing]
+                return [EdgeDeletion(*existing)]
+        weight = round(rng.uniform(0.5, 4.0), 3)
+        self.edges[edge] = weight
+        return [EdgeInsertion(edge[0], edge[1], weight=weight)]
+
+
+def run_load(
+    host: str,
+    port: int,
+    queries: List[str],
+    duration: float = 2.0,
+    read_fraction: float = 0.9,
+    threads: int = 8,
+    mode: str = "closed",
+    rate: Optional[float] = None,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+    base_nodes: Optional[List[Any]] = None,
+    write_deadline: Optional[float] = None,
+    record: bool = True,
+    max_writes: Optional[int] = None,
+) -> LoadReport:
+    """Drive mixed read/write load against a running server.
+
+    ``mode="open"`` requires ``rate`` (aggregate ops/second); latency is
+    then measured from each op's scheduled arrival.  ``base_nodes`` are
+    the graph nodes writers attach their private edges to (default: the
+    node ``0``...``9`` range is *not* assumed — pass real node ids).
+    ``max_writes`` caps the total writes issued (e.g. a 500-op stream).
+    """
+    if mode not in ("closed", "open"):
+        raise ReproError(f"unknown load mode {mode!r}")
+    if mode == "open" and not rate:
+        raise ReproError("open-loop load requires a rate (ops/second)")
+    if not queries:
+        raise ReproError("load generation needs at least one registered query")
+    base_nodes = list(base_nodes or [0])
+
+    report = LoadReport(mode=mode)
+    lock = threading.Lock()
+    weights = _zipf_weights(len(queries), zipf_s)
+    stop_at = monotonic() + duration
+    writes_left = [max_writes if max_writes is not None else -1]  # -1 = unbounded
+
+    def take_write_slot() -> bool:
+        with lock:
+            if writes_left[0] == 0:
+                return False
+            if writes_left[0] > 0:
+                writes_left[0] -= 1
+            return True
+
+    def worker(tid: int) -> None:
+        rng = random.Random((seed << 8) ^ tid)
+        writer = _Writer(_private_node(tid, seed, base_nodes), base_nodes, rng)
+        can_write = True
+        client = ServiceClient(host, port, timeout=max(10.0, duration * 4))
+        interval = threads / rate if rate else 0.0
+        next_arrival = monotonic() + rng.random() * interval if rate else 0.0
+        try:
+            while True:
+                now = monotonic()
+                if now >= stop_at:
+                    return
+                if mode == "open":
+                    if next_arrival > now:
+                        sleep(min(next_arrival - now, stop_at - now))
+                        if monotonic() >= stop_at:
+                            return
+                    started = next_arrival  # charge queueing to the service
+                    next_arrival += interval
+                else:
+                    started = monotonic()
+
+                is_read = (
+                    not can_write
+                    or rng.random() < read_fraction
+                    or not take_write_slot()
+                )
+                try:
+                    if is_read:
+                        name = rng.choices(queries, weights=weights)[0]
+                        response = client.query(name)
+                        elapsed = monotonic() - started
+                        with lock:
+                            report.reads += 1
+                            report.read_latencies.append(elapsed)
+                            if record:
+                                report.read_records.append(
+                                    (name, int(response["seq"]), response["answer"])
+                                )
+                    else:
+                        ops = writer.next_batch()
+                        seq = client.update(ops, deadline=write_deadline)
+                        elapsed = monotonic() - started
+                        with lock:
+                            report.writes += 1
+                            report.write_latencies.append(elapsed)
+                            if record:
+                                report.write_records.append((seq, ops))
+                except ReproError as exc:
+                    kind = type(exc).__name__
+                    with lock:
+                        bucket = report.read_errors if is_read else report.write_errors
+                        bucket[kind] = bucket.get(kind, 0) + 1
+                    if not is_read:
+                        # The op's effect is unknown (Deadline) or absent
+                        # (Overloaded), so this writer's local edge model
+                        # may diverge from the graph — stop writing, keep
+                        # reading.
+                        can_write = False
+                        sleep(0.005)
+        finally:
+            client.close()
+
+    started = monotonic()
+    pool = [threading.Thread(target=worker, args=(tid,), daemon=True) for tid in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(duration + 30.0)
+    report.duration = monotonic() - started
+    return report
+
+
+# ----------------------------------------------------------------------
+# Differential isolation verification
+# ----------------------------------------------------------------------
+def verify_isolation(
+    initial_graph: Graph,
+    query_specs: Dict[str, Tuple[str, Any]],
+    report: LoadReport,
+    base_seq: int = -1,
+    max_violations: int = 10,
+) -> List[str]:
+    """Check every recorded read against a batch recomputation at its seq.
+
+    ``query_specs`` maps query name → ``(algorithm name, query object)``
+    as registered.  The recorded writes are replayed in sequence order
+    onto a copy of ``initial_graph``; for every read at sequence ``s``
+    the corresponding prefix graph's batch answer must equal the served
+    answer exactly (zero torn reads).  Reads beyond the contiguous write
+    prefix (a shed write leaves a gap) are skipped — their prefix graph
+    is unknowable — and reported as a skip count, never silently.
+
+    Returns a list of human-readable violation strings (empty = clean).
+    """
+    violations: List[str] = []
+    writes = sorted(report.write_records, key=lambda pair: pair[0])
+    seqs = [seq for seq, _ops in writes]
+    if len(set(seqs)) != len(seqs):
+        violations.append("duplicate write sequence numbers recorded")
+        return violations
+
+    # The verifiable frontier: the longest contiguous seq prefix.
+    frontier = base_seq
+    by_seq: Dict[int, List[Update]] = dict(writes)
+    while frontier + 1 in by_seq:
+        frontier += 1
+
+    reads = sorted(report.read_records, key=lambda rec: rec[1])
+    graph = initial_graph.copy()
+    current = base_seq
+    oracle_cache: Dict[Tuple[str, int], Any] = {}
+    skipped = 0
+    for name, seq, answer in reads:
+        if seq < base_seq or seq > frontier:
+            skipped += 1
+            continue
+        if name not in query_specs:
+            skipped += 1
+            continue
+        while current < seq:
+            current += 1
+            apply_updates(graph, Batch(by_seq[current]))
+        key = (name, seq)
+        if key not in oracle_cache:
+            algorithm, query = query_specs[name]
+            batch_factory, _inc = ALGORITHM_PAIRS[algorithm]
+            batch = batch_factory()
+            state = batch.run(graph.copy(), query)
+            oracle_cache[key] = jsonable(batch.answer(state, graph, query))
+        expected = oracle_cache[key]
+        if answer != expected:
+            if len(violations) < max_violations:
+                diff = _first_diff(expected, answer)
+                violations.append(
+                    f"torn read: {name!r} at seq {seq} diverges from the "
+                    f"batch-recomputed answer ({diff})"
+                )
+    if skipped and not violations:
+        # Not a failure, but never silent: callers log it.
+        pass
+    return violations
+
+
+def _first_diff(expected: Any, got: Any) -> str:
+    if isinstance(expected, dict) and isinstance(got, dict):
+        for key in expected:
+            if key not in got:
+                return f"missing key {key!r}"
+            if expected[key] != got[key]:
+                return f"key {key!r}: expected {expected[key]!r}, got {got[key]!r}"
+        extra = [key for key in got if key not in expected]
+        if extra:
+            return f"unexpected key {extra[0]!r}"
+    return f"expected {str(expected)[:80]}..., got {str(got)[:80]}..."

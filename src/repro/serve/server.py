@@ -1,0 +1,130 @@
+"""A small threaded TCP front for :class:`~repro.serve.service.QueryService`.
+
+One thread per connection, JSON-lines framing
+(:mod:`repro.serve.protocol`).  This is deliberately the simplest
+possible network surface that exercises the serving layer's real
+guarantees — snapshot-isolated reads, admission control, long-polls —
+under genuinely concurrent clients; it is not trying to be an
+asyncio-grade event loop.  Long-poll ``watch`` requests block their
+connection thread only (never the writer), and a connection error tears
+down exactly that connection.
+
+Usage::
+
+    service = QueryService(session).start()
+    server = QueryServer(service, port=0)       # 0 = ephemeral
+    server.start()
+    ... ServiceClient(*server.address) ...
+    server.stop(); service.close()
+
+The ``repro serve`` CLI entrypoint (``repro.cli``) wraps exactly this.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from .protocol import handle_line
+from .service import QueryService
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    # Line-buffered reads; flush every response immediately.
+    rbufsize = -1
+    wbufsize = 0
+
+    def handle(self) -> None:
+        service: QueryService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline()
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return  # client closed
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            response = handle_line(service, text)
+            try:
+                self.wfile.write(response.encode("utf-8") + b"\n")
+            except (ConnectionError, OSError):
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # Long-poll handlers linger; don't let shutdown() wait on them.
+    block_on_close = False
+
+
+class QueryServer:
+    """Serve a :class:`QueryService` over TCP on ``host:port``.
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    :attr:`address` (the pattern the CI smoke step and the tests use).
+    """
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self._server = _TCPServer((host, port), _Handler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolved even for ``port=0``."""
+        return self._server.server_address[:2]
+
+    def start(self) -> "QueryServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and close the listening socket (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"QueryServer({host}:{port}, {self.service!r})"
+
+
+def serve_forever(service: QueryService, host: str, port: int) -> None:
+    """Blocking foreground serve (the CLI path); Ctrl-C stops cleanly."""
+    server = QueryServer(service, host=host, port=port)
+    bound_host, bound_port = server.address
+    print(f"serving on {bound_host}:{bound_port} "
+          f"(queries: {', '.join(service.store.names()) or 'none'})",
+          flush=True)
+    server.start()
+    try:
+        while True:
+            threading.Event().wait(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        service.close()

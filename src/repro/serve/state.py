@@ -1,0 +1,198 @@
+"""Single-writer / multi-reader snapshot isolation for answer serving.
+
+The serving layer's isolation model is deliberately simple, because the
+session underneath makes it possible:
+
+* exactly **one** writer thread ever touches the
+  :class:`~repro.session.DynamicGraphSession` (graph replicas, fixpoint
+  states, WAL) — there is nothing to lock *inside* the session;
+* after every committed window the writer extracts each standing query's
+  answer (already a defensive copy, see
+  :meth:`DynamicGraphSession.answer <repro.session.DynamicGraphSession.answer>`)
+  and publishes it here as an immutable :class:`AnswerSnapshot` tagged
+  with the WAL sequence number the answer is consistent with;
+* readers only ever see published snapshots.  A read never blocks on a
+  write, never observes a mid-apply state, and always reports the exact
+  fixpoint version (``seq``) its answer corresponds to — the
+  prefix-consistency the differential isolation test verifies by batch
+  recomputation at that very ``seq``.
+
+Publication is copy-on-write: the name → snapshot map is *replaced*, not
+mutated, so a reader that grabbed the previous map keeps a consistent
+view for free (reference assignment is atomic under the GIL).  A
+condition variable backs ``watch``-style long-polls: readers sleep until
+a query's version advances past the one they have seen.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class AnswerSnapshot:
+    """One immutable published answer of one standing query.
+
+    Attributes
+    ----------
+    name / algorithm:
+        The query's registration name and its algorithm-pair name.
+    seq:
+        The WAL sequence number this answer is consistent with: the
+        answer equals a from-scratch batch run on the graph after
+        exactly the batches ``0..seq`` (-1 = the registration graph).
+    version:
+        Per-query change counter: bumps only when the answer *differs*
+        from the previously published one, so ``watch`` long-polls wake
+        on real changes, not on every committed window.
+    answer:
+        The extracted ``Q(G)``.  Treat as immutable — it is never
+        mutated after publication and may be shared by many readers.
+    changed:
+        Number of output keys that changed versus the previous snapshot
+        (0 for the initial publication).
+    """
+
+    name: str
+    algorithm: str
+    seq: int
+    version: int
+    answer: Any
+    changed: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "algorithm": self.algorithm,
+            "seq": self.seq,
+            "version": self.version,
+            "changed": self.changed,
+        }
+
+
+def _answers_equal(a: Any, b: Any) -> bool:
+    try:
+        return bool(a == b)
+    except Exception:  # exotic answer types with broken __eq__
+        return False
+
+
+def _count_changed(old: Any, new: Any) -> int:
+    if isinstance(old, dict) and isinstance(new, dict):
+        changed = 0
+        for key, value in new.items():
+            if key not in old or old[key] != value:
+                changed += 1
+        changed += sum(1 for key in old if key not in new)
+        return changed
+    if isinstance(old, (set, frozenset)) and isinstance(new, (set, frozenset)):
+        return len(old ^ new)
+    return 0 if _answers_equal(old, new) else 1
+
+
+class SnapshotStore:
+    """The published, immutable answer table readers serve from."""
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[str, AnswerSnapshot] = {}
+        self._cond = threading.Condition()
+        self._published = 0  # total publish() calls (windows), for stats
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def publish(self, answers: Dict[str, Any], seq: int, algorithms: Dict[str, str]) -> Dict[str, AnswerSnapshot]:
+        """Atomically publish one consistent set of answers at ``seq``.
+
+        ``answers`` maps query name → freshly-extracted answer;
+        ``algorithms`` maps name → algorithm-pair name.  Every named
+        query gets a new snapshot tagged ``seq``; its version bumps only
+        when the answer changed.  Queries absent from ``answers`` are
+        retired (unregistered).  Returns the new snapshot map.
+        """
+        current = self._snapshots
+        fresh: Dict[str, AnswerSnapshot] = {}
+        for name, answer in answers.items():
+            previous = current.get(name)
+            if previous is None:
+                fresh[name] = AnswerSnapshot(
+                    name=name,
+                    algorithm=algorithms.get(name, ""),
+                    seq=seq,
+                    version=0,
+                    answer=answer,
+                )
+            elif _answers_equal(previous.answer, answer):
+                fresh[name] = AnswerSnapshot(
+                    name=name,
+                    algorithm=previous.algorithm,
+                    seq=seq,
+                    version=previous.version,
+                    answer=previous.answer,  # share: identical content
+                )
+            else:
+                fresh[name] = AnswerSnapshot(
+                    name=name,
+                    algorithm=previous.algorithm,
+                    seq=seq,
+                    version=previous.version + 1,
+                    answer=answer,
+                    changed=_count_changed(previous.answer, answer),
+                )
+        with self._cond:
+            self._snapshots = fresh
+            self._published += 1
+            self._cond.notify_all()
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> AnswerSnapshot:
+        """The current snapshot of one query (never blocks)."""
+        snapshot = self._snapshots.get(name)
+        if snapshot is None:
+            raise ReproError(f"query {name!r} is not registered")
+        return snapshot
+
+    def names(self) -> List[str]:
+        return list(self._snapshots)
+
+    def wait_for(
+        self, name: str, after_version: int = -1, timeout: Optional[float] = None
+    ) -> Optional[AnswerSnapshot]:
+        """Long-poll: block until ``name`` has a version > ``after_version``.
+
+        Returns the newer snapshot, or ``None`` on timeout.  Raises
+        :class:`~repro.errors.ReproError` if the query is (or becomes)
+        unregistered.
+        """
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._cond:
+            while True:
+                snapshot = self._snapshots.get(name)
+                if snapshot is None:
+                    raise ReproError(f"query {name!r} is not registered")
+                if snapshot.version > after_version:
+                    return snapshot
+                remaining = None if deadline is None else deadline - monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    # ------------------------------------------------------------------
+    @property
+    def published_windows(self) -> int:
+        return self._published
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Version/seq summary per query (the ``stats`` payload)."""
+        return {name: snap.as_dict() for name, snap in self._snapshots.items()}
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore(queries={self.names()}, windows={self._published})"

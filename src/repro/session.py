@@ -214,6 +214,12 @@ class DynamicGraphSession:
         self._query(name).listeners.append(listener)
 
     def queries(self) -> List[str]:
+        """Names of all registered queries, as a fresh list.
+
+        The returned list is a defensive copy: mutating it never touches
+        the session, and a registration from another thread never mutates
+        a list a reader already holds.
+        """
         return list(self._queries)
 
     def _query(self, name: str) -> RegisteredQuery:
@@ -269,7 +275,7 @@ class DynamicGraphSession:
         self._run_cadences()
         return results
 
-    def update_stream(self, stream) -> Dict[str, Any]:
+    def update_stream(self, stream, notify: bool = False) -> Dict[str, Any]:
         """Apply a whole update stream with per-query coalescing.
 
         ``stream`` is an iterable of :class:`Batch` or unit updates.
@@ -278,8 +284,11 @@ class DynamicGraphSession:
         per-op kernel-vs-generic routing); the session's reference graph
         receives the raw stream, so all replicas stay identical.
         Returns ``{query name: StreamResult}`` with each query's composed
-        ``ΔO``; listeners are *not* called per op — read the composed
-        result instead.
+        ``ΔO``; listeners are *not* called per op — pass ``notify=True``
+        to deliver each query's composed result to its listeners once,
+        after the whole stream committed (the serve writer thread's
+        delivery mode; a raising listener is isolated exactly as in
+        :meth:`update`).
 
         The stream enjoys the same guarantees as :meth:`update`: every
         batch is validated (against the graph *as the stream leaves it*,
@@ -327,6 +336,8 @@ class DynamicGraphSession:
             raise
         except Exception as exc:
             self._fail_batch(txn, seqs, exc)
+        if notify:
+            self._notify(results)
         self._run_cadences()
         return results
 
@@ -683,13 +694,41 @@ class DynamicGraphSession:
 
     # ------------------------------------------------------------------
     def answer(self, name: str) -> Any:
-        """The current ``Q(G)`` of a registered query."""
+        """The current ``Q(G)`` of a registered query, as a fresh snapshot.
+
+        The returned object shares **no mutable structure** with the live
+        fixpoint state: extraction runs over an atomically-copied value
+        map (``dict(values)`` is atomic under the GIL), so a reader on
+        another thread can never observe a value map that an in-flight
+        :meth:`update` mutates under its feet, and mutating the returned
+        answer never corrupts the session.  Note this only makes the
+        *container* safe — a concurrent reader can still observe a
+        committed-but-mid-stream version; the serving layer
+        (:mod:`repro.serve`) layers prefix-consistent snapshot isolation
+        on top for that.
+        """
         registered = self._query(name)
-        return registered.batch.answer(registered.state, registered.graph, registered.query)
+        state = registered.state
+        snapshot = FixpointState()
+        snapshot.values = dict(state.values)
+        snapshot.timestamps = state.timestamps
+        snapshot.clock = state.clock
+        return registered.batch.answer(snapshot, registered.graph, registered.query)
 
     @property
     def batches_applied(self) -> int:
         return self._batches_applied
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last batch issued (-1 before any).
+
+        This is the WAL sequence number for durable sessions and the same
+        monotonic counter for in-memory ones — the version tag the serving
+        layer stamps on published answer snapshots, and the coordinate in
+        which "prefix-consistent at seq s" is defined.
+        """
+        return self._seq
 
     def __repr__(self) -> str:
         return (

@@ -172,3 +172,97 @@ class TestDatasets:
         assert code == 0
         rows = json.loads(out)
         assert [r["name"] for r in rows] == ["LJ", "DP", "OKT", "TW", "FS", "WD"]
+
+
+class TestOperatorErrors:
+    """Operator mistakes exit 2 with one line on stderr — no tracebacks."""
+
+    def test_recover_missing_directory(self, capsys):
+        code, out, err = run_cli(capsys, "recover", "/nonexistent/session")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_audit_missing_directory(self, capsys):
+        code, out, err = run_cli(capsys, "audit", "/nonexistent/session")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_recover_checkpoint_is_a_directory(self, capsys, tmp_path):
+        # An OSError-shaped mistake (IsADirectoryError), not a ReproError.
+        (tmp_path / "checkpoint.json").mkdir()
+        code, out, err = run_cli(capsys, "recover", str(tmp_path))
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_recover_on_plain_file_directory(self, capsys, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("junk")
+        code, _out, err = run_cli(capsys, "recover", str(target))
+        assert code == 2
+        assert err.startswith("error: ")
+
+
+class TestServeCommand:
+    def test_serve_requires_graph_or_recover(self, capsys):
+        code, _out, err = run_cli(capsys, "serve")
+        assert code == 2
+        assert "GRAPH" in err
+
+    def test_bad_register_spec(self, capsys, graph_file):
+        code, _out, err = run_cli(capsys, "serve", graph_file, "--register", "nonsense")
+        assert code == 2
+        assert "NAME=ALGO" in err
+
+    def test_source_algorithms_need_query(self, capsys, graph_file):
+        code, _out, err = run_cli(capsys, "serve", graph_file, "--register", "d=SSSP")
+        assert code == 2
+        assert "SSSP" in err
+
+    def test_undirected_only_vs_directed_flag(self, capsys, graph_file):
+        code, _out, err = run_cli(
+            capsys, "serve", graph_file, "--directed", "--register", "cc=CC"
+        )
+        assert code == 2
+        assert "undirected" in err
+
+    def test_end_to_end_over_tcp(self, graph_file):
+        # Drive the real CLI entrypoint in a subprocess on an ephemeral
+        # port, then talk to it with the client.
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys as _sys
+
+        from repro.graph import EdgeInsertion
+        from repro.serve import ServiceClient
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH", "")) + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", graph_file, "--port", "0",
+             "--register", "cc=CC", "--register", "d=SSSP:0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"serving on ([\d.]+):(\d+)", banner)
+            assert match, f"no banner: {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+            with ServiceClient(host, port) as client:
+                assert client.ping() == 1
+                assert client.query("cc")["seq"] == -1
+                seq = client.update([EdgeInsertion(2, 7, weight=1.0)])
+                snap = client.query("d")
+                assert snap["seq"] >= seq
+                assert snap["answer"]["7"] == 4.0  # 0-2 (3.0) + 1.0
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=15) == 0  # clean shutdown
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=15)

@@ -298,3 +298,52 @@ class TestKernelIncremental:
         for op in [EdgeInsertion(0, 5, weight=0.5), *big.updates, EdgeDeletion(0, 5)]:
             IncSSSP(engine="generic").apply(g2, want, Batch([op]), 0)
         assert dict(state.values) == dict(want.values)
+
+
+class TestPerApplyStats:
+    """``kernel_stats`` counters are born fresh for every apply — a big
+    window must never inflate the next small apply's numbers (the serve
+    layer's per-window stats aggregation depends on this)."""
+
+    def test_counters_reset_between_applies(self):
+        edges = [(i, i + 1) for i in range(100)]
+        g = from_edges(edges, directed=True, weights=[1.0] * len(edges))
+        state = run_batch(SSSPSpec(), g, 0, engine="generic")
+        algo = IncSSSP(engine="kernel")
+
+        # A heavy apply: shortening the chain head cascades to the tail.
+        big = algo.apply(g, state, Batch([EdgeInsertion(0, 50, weight=0.5)]), 0)
+        assert big.kernel_stats is not None
+        assert big.kernel_stats["touched"] > 10
+
+        # A tiny apply right after: its counters must reflect only
+        # itself, not accumulate the heavy apply's totals.
+        small = algo.apply(
+            g, state, Batch([EdgeInsertion(0, 2, weight=5.0)]), 0
+        )
+        assert small.kernel_stats is not None
+        assert small.kernel_stats["touched"] <= 3
+        assert small.kernel_stats["writes"] <= small.kernel_stats["touched"]
+        assert small.affected_size == small.kernel_stats["touched"]
+
+    def test_stream_totals_sum_per_apply_stats(self):
+        from repro.kernels.scheduler import StreamResult
+
+        edges = [(i, i + 1) for i in range(50)]
+        g = from_edges(edges, directed=True, weights=[1.0] * len(edges))
+        state = run_batch(SSSPSpec(), g, 0, engine="generic")
+        algo = IncSSSP()
+        stream = [
+            Batch([EdgeInsertion(0, 10, weight=0.5)]),
+            Batch([EdgeDeletion(0, 10)]),
+            Batch([EdgeInsertion(0, 25, weight=0.25)]),
+        ]
+        result = algo.apply_stream(g, state, stream, 0)
+        assert isinstance(result, StreamResult)
+        totals = result.kernel_totals()
+        assert totals["applies"] == result.applies
+        assert totals["applies"] == totals["kernel_applies"] + totals["generic_applies"]
+        # The sum equals the per-apply numbers, not a running global.
+        per_apply = sum(entry.get("realized", 0) for entry in result.stats)
+        assert totals["touched"] == per_apply
+        assert totals["touched"] > 0

@@ -104,3 +104,58 @@ class TestTimers:
         result, seconds = time_call(sum, [1, 2, 3])
         assert result == 6
         assert seconds >= 0.0
+
+
+class TestLatencyRecorder:
+    def test_percentiles_over_window(self):
+        from repro.metrics import LatencyRecorder
+
+        rec = LatencyRecorder()
+        for ms in range(1, 101):  # 1ms..100ms
+            rec.record(ms / 1000.0)
+        snap = rec.snapshot(reset=False)
+        assert snap["count"] == 100
+        assert snap["window"] == 100
+        assert abs(snap["p50"] - 0.050) < 0.005
+        assert abs(snap["p99"] - 0.100) < 0.005
+        assert snap["max"] == 0.1
+
+    def test_reset_rolls_window_keeps_ring(self):
+        from repro.metrics import LatencyRecorder
+
+        rec = LatencyRecorder()
+        rec.record(0.01)
+        first = rec.snapshot(reset=True)
+        assert first["window"] == 1
+        second = rec.snapshot(reset=True)
+        assert second["window"] == 0        # per-window count rolled
+        assert second["count"] == 1         # lifetime sample count kept
+        assert second["p50"] > 0            # percentiles still computable
+
+    def test_empty_snapshot(self):
+        from repro.metrics import LatencyRecorder
+
+        snap = LatencyRecorder().snapshot()
+        assert snap["count"] == 0 and snap["p99"] == 0.0
+
+    def test_percentiles_helper(self):
+        from repro.metrics import percentiles
+
+        result = percentiles([0.001, 0.002, 0.003, 0.004])
+        assert result["count"] == 4
+        assert result["p50"] <= result["p90"] <= result["p99"] <= result["max"]
+        assert percentiles([])["count"] == 0
+
+
+class TestDepthGauge:
+    def test_high_water_tracking(self):
+        from repro.metrics import DepthGauge
+
+        gauge = DepthGauge()
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(2)
+        snap = gauge.snapshot(reset=False)
+        assert snap["depth"] == 2 and snap["high_water"] == 7
+        snap = gauge.snapshot(reset=True)
+        assert gauge.snapshot()["high_water"] == 2  # reset to current depth

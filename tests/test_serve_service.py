@@ -1,0 +1,252 @@
+"""Tests for the query service: writer thread, admission control, drain."""
+
+import threading
+import time
+
+import pytest
+
+from oracles import oracle_cc, oracle_sssp
+from repro.errors import (
+    BatchValidationError,
+    Deadline,
+    Overloaded,
+    ReproError,
+    ServiceClosed,
+)
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, from_edges
+from repro.serve import QueryService, ServiceConfig
+from repro.session import DynamicGraphSession
+
+
+def make_service(config=None, register=True, start=True):
+    g = from_edges([(0, 1), (1, 2), (2, 3)], weights=[1.0, 2.0, 3.0])
+    service = QueryService(DynamicGraphSession(g), config)
+    if register:
+        service.register("cc", "CC")
+        service.register("sssp", "SSSP", query=0)
+    if start:
+        service.start()
+    return service
+
+
+@pytest.fixture
+def service():
+    svc = make_service()
+    yield svc
+    svc.close(drain=False)
+
+
+class TestReadsAndWrites:
+    def test_initial_snapshots_published(self, service):
+        snap = service.read("cc")
+        assert snap.seq == -1 and snap.version == 0
+        assert snap.answer == oracle_cc(service.session.graph)
+
+    def test_read_your_writes(self, service):
+        seq = service.update(EdgeInsertion(3, 4, weight=1.0))
+        assert seq == 0
+        snap = service.read("sssp")
+        assert snap.seq >= seq
+        assert snap.answer == oracle_sssp(service.session.graph, 0)
+
+    def test_answers_track_oracles_through_updates(self, service):
+        service.update(EdgeInsertion(0, 3, weight=0.5))
+        service.update(Batch([EdgeDeletion(1, 2), EdgeInsertion(2, 4, weight=2.0)]))
+        g = service.session.graph
+        assert service.read("cc").answer == oracle_cc(g)
+        assert service.read("sssp").answer == oracle_sssp(g, 0)
+
+    def test_sequential_seqs_across_submitters(self, service):
+        seqs = [service.update(EdgeInsertion(0, 10 + i)) for i in range(4)]
+        assert seqs == [0, 1, 2, 3]
+
+    def test_read_never_blocks_on_unknown(self, service):
+        with pytest.raises(ReproError):
+            service.read("nope")
+
+    def test_register_through_writer(self, service):
+        snap = service.register("lcc", "LCC")
+        assert snap.name == "lcc"
+        assert "lcc" in service.store.names()
+        service.unregister("lcc")
+        assert "lcc" not in service.store.names()
+
+    def test_validation_error_is_typed_and_isolated(self, service):
+        with pytest.raises(BatchValidationError):
+            service.update(EdgeInsertion(0, 1))  # edge already exists
+        # The service survives and later writes commit.
+        seq = service.update(EdgeInsertion(0, 7))
+        assert service.read("cc").seq >= seq
+
+
+class TestWatch:
+    def test_watch_wakes_on_change(self, service):
+        result = {}
+
+        def waiter():
+            result["snap"] = service.watch("cc", after_version=0, timeout=5.0)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        service.update(EdgeInsertion(50, 51))  # new component: CC answer changes
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert result["snap"].version > 0
+
+    def test_watch_timeout_raises_deadline(self, service):
+        with pytest.raises(Deadline):
+            service.watch("cc", after_version=10_000, timeout=0.05)
+
+
+class TestAdmissionControl:
+    def test_overloaded_when_queue_full(self):
+        # No writer thread: admitted ops stay queued.
+        service = make_service(ServiceConfig(queue_size=2), start=False)
+        try:
+            for i in range(2):
+                with pytest.raises(Deadline):
+                    service.update(EdgeInsertion(0, 10 + i), deadline=0.01)
+            with pytest.raises(Overloaded) as exc_info:
+                service.update(EdgeInsertion(0, 12), deadline=0.01)
+            assert exc_info.value.depth == 2
+            stats = service.stats()
+            assert stats["window"]["shed_overloaded"] == 1
+            assert stats["window"]["shed_deadline"] == 2
+        finally:
+            service.close(drain=False)
+
+    def test_expired_op_shed_at_dequeue(self):
+        service = make_service(ServiceConfig(queue_size=8), start=False)
+        try:
+            with pytest.raises(Deadline):
+                service.update(EdgeInsertion(0, 10), deadline=0.01)
+            # The op is still queued; once the writer starts it must be
+            # shed un-applied, not committed behind the caller's back.
+            service.start()
+            deadline = time.monotonic() + 5.0
+            while service._queue.qsize() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert service.session.seq == -1  # nothing committed
+            assert service.stats()["lifetime"]["shed_deadline"] >= 1
+        finally:
+            service.close(drain=False)
+
+    def test_update_after_close_raises(self):
+        service = make_service()
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.update(EdgeInsertion(0, 9))
+        with pytest.raises(ServiceClosed):
+            service.register("q2", "CC")
+
+
+class TestShutdown:
+    def test_graceful_drain_commits_queued_tail(self):
+        service = make_service()
+        seqs = []
+        for i in range(10):
+            seqs.append(service.update(EdgeInsertion(0, 100 + i)))
+        service.close(drain=True)
+        assert service.closed
+        assert service.session.seq == seqs[-1]
+        # Final snapshots reflect the drained state.
+        assert service.read("cc").seq == seqs[-1]
+
+    def test_close_without_drain_sheds_queued_ops(self):
+        service = make_service(ServiceConfig(queue_size=64), start=False)
+        outcomes = []
+
+        def submit(i):
+            try:
+                outcomes.append(("ok", service.update(EdgeInsertion(0, 200 + i))))
+            except ServiceClosed:
+                outcomes.append(("shed", None))
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 5.0
+        while service._queue.qsize() < 4 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        service.close(drain=False)
+        for t in threads:
+            t.join(5.0)
+        assert [kind for kind, _ in outcomes] == ["shed"] * 4
+
+    def test_close_idempotent(self):
+        service = make_service()
+        service.close()
+        service.close()
+        assert service.closed
+
+
+class TestStatsWindows:
+    def test_scrape_and_reset_semantics(self, service):
+        service.update(EdgeInsertion(0, 20))
+        service.update(EdgeInsertion(0, 21))
+        first = service.stats(reset_window=True)
+        assert first["window"]["ops"] == 2
+        assert first["window"]["applies"] > 0
+        assert first["latency"]["write"]["window"] == 2
+        # The window rolled: a fresh scrape reports only new work.
+        second = service.stats(reset_window=True)
+        assert second["window"]["ops"] == 0
+        assert second["latency"]["write"]["window"] == 0
+        # Lifetime totals survive the roll.
+        assert second["lifetime"]["ops"] == 2
+        assert second["seq"] == 1
+
+    def test_reset_false_preserves_window(self, service):
+        service.update(EdgeInsertion(0, 22))
+        assert service.stats(reset_window=False)["window"]["ops"] == 1
+        assert service.stats(reset_window=False)["window"]["ops"] == 1
+
+    def test_queue_depth_gauge(self, service):
+        stats = service.stats()
+        assert stats["queue"]["capacity"] == 256
+        assert stats["queue"]["depth"] >= 0
+
+
+class TestListenerIsolation:
+    def test_raising_listener_does_not_wedge_writer(self):
+        g = from_edges([(0, 1), (1, 2)], weights=[1.0, 1.0])
+        service = QueryService(DynamicGraphSession(g))
+        seen = []
+
+        def bad_listener(name, result):
+            seen.append((name, result))
+            raise RuntimeError("subscriber bug")
+
+        service.register("cc", "CC", listener=bad_listener)
+        service.start()
+        try:
+            # Multiple windows: the writer must survive every delivery.
+            seqs = [service.update(EdgeInsertion(0, 10 + i)) for i in range(3)]
+            assert seqs == [0, 1, 2]
+            assert len(seen) == 3           # listener ran under the writer
+            assert service.read("cc").seq == 2
+            stats = service.stats()
+            assert stats["incidents"] >= 3  # failures logged, not raised
+            # And the queue is empty — nothing wedged.
+            assert service._queue.qsize() == 0
+        finally:
+            service.close(drain=False)
+
+
+class TestConcurrentSubmitters:
+    def test_many_writers_unique_seqs(self, service):
+        seqs, lock = [], threading.Lock()
+
+        def writer(tid):
+            for i in range(5):
+                seq = service.update(EdgeInsertion(1000 + tid, 2000 + tid * 10 + i))
+                with lock:
+                    seqs.append(seq)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert sorted(seqs) == list(range(30))  # every batch got its own seq
+        assert service.read("cc").seq == 29

@@ -1,0 +1,128 @@
+"""Tests for the snapshot store (single-writer / multi-reader isolation)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.state import AnswerSnapshot, SnapshotStore, _count_changed
+
+
+def publish(store, answers, seq, algorithms=None):
+    return store.publish(
+        answers, seq=seq, algorithms=algorithms or {name: "CC" for name in answers}
+    )
+
+
+class TestPublish:
+    def test_initial_publication(self):
+        store = SnapshotStore()
+        publish(store, {"cc": {0: 0, 1: 0}}, seq=-1)
+        snap = store.get("cc")
+        assert snap.seq == -1
+        assert snap.version == 0
+        assert snap.answer == {0: 0, 1: 0}
+        assert snap.algorithm == "CC"
+
+    def test_unchanged_answer_keeps_version_and_shares_object(self):
+        store = SnapshotStore()
+        answer = {0: 0, 1: 0}
+        publish(store, {"cc": answer}, seq=0)
+        publish(store, {"cc": dict(answer)}, seq=1)  # equal but distinct dict
+        snap = store.get("cc")
+        assert snap.seq == 1            # seq always advances with the window
+        assert snap.version == 0        # ...but the version only on change
+        assert snap.answer is answer    # identical content is shared
+
+    def test_changed_answer_bumps_version_and_counts(self):
+        store = SnapshotStore()
+        publish(store, {"cc": {0: 0, 1: 0, 2: 2}}, seq=0)
+        publish(store, {"cc": {0: 0, 1: 1, 2: 2, 3: 3}}, seq=1)
+        snap = store.get("cc")
+        assert snap.version == 1
+        assert snap.changed == 2  # key 1 changed, key 3 appeared
+
+    def test_retired_query_disappears(self):
+        store = SnapshotStore()
+        publish(store, {"cc": {0: 0}, "lcc": {0: 1.0}}, seq=0)
+        publish(store, {"cc": {0: 0}}, seq=1)
+        with pytest.raises(ReproError):
+            store.get("lcc")
+        assert store.names() == ["cc"]
+
+    def test_publish_replaces_map_not_mutates(self):
+        store = SnapshotStore()
+        publish(store, {"cc": {0: 0}}, seq=0)
+        before = store._snapshots
+        publish(store, {"cc": {0: 1}}, seq=1)
+        assert store._snapshots is not before       # copy-on-write
+        assert before["cc"].answer == {0: 0}        # old view intact
+
+    def test_published_windows_counter(self):
+        store = SnapshotStore()
+        assert store.published_windows == 0
+        publish(store, {"cc": {0: 0}}, seq=0)
+        publish(store, {"cc": {0: 0}}, seq=1)
+        assert store.published_windows == 2
+
+
+class TestReaders:
+    def test_get_unknown_raises(self):
+        with pytest.raises(ReproError):
+            SnapshotStore().get("nope")
+
+    def test_wait_for_returns_immediately_when_newer(self):
+        store = SnapshotStore()
+        publish(store, {"cc": {0: 0}}, seq=0)
+        snap = store.wait_for("cc", after_version=-1, timeout=0.0)
+        assert snap is not None and snap.version == 0
+
+    def test_wait_for_times_out(self):
+        store = SnapshotStore()
+        publish(store, {"cc": {0: 0}}, seq=0)
+        assert store.wait_for("cc", after_version=0, timeout=0.05) is None
+
+    def test_wait_for_unregistered_raises(self):
+        with pytest.raises(ReproError):
+            SnapshotStore().wait_for("nope", timeout=0.05)
+
+    def test_wait_for_wakes_on_publish(self):
+        store = SnapshotStore()
+        publish(store, {"cc": {0: 0}}, seq=0)
+        result = {}
+
+        def waiter():
+            result["snap"] = store.wait_for("cc", after_version=0, timeout=5.0)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        publish(store, {"cc": {0: 9}}, seq=1)
+        thread.join(5.0)
+        assert result["snap"].version == 1
+        assert result["snap"].answer == {0: 9}
+
+
+class TestChangeCounting:
+    def test_dict_diff(self):
+        assert _count_changed({0: 1, 1: 2}, {0: 1, 1: 3, 2: 4}) == 2
+        assert _count_changed({0: 1, 1: 2}, {0: 1}) == 1  # removal counts
+
+    def test_set_diff(self):
+        assert _count_changed({1, 2}, {2, 3}) == 2
+
+    def test_scalar(self):
+        assert _count_changed(1.0, 1.0) == 0
+        assert _count_changed(1.0, 2.0) == 1
+
+
+class TestSnapshotImmutability:
+    def test_frozen(self):
+        snap = AnswerSnapshot(name="cc", algorithm="CC", seq=0, version=0, answer={})
+        with pytest.raises(AttributeError):
+            snap.seq = 1
+
+    def test_as_dict(self):
+        snap = AnswerSnapshot(name="cc", algorithm="CC", seq=3, version=2, answer={}, changed=1)
+        assert snap.as_dict() == {
+            "name": "cc", "algorithm": "CC", "seq": 3, "version": 2, "changed": 1,
+        }

@@ -111,3 +111,62 @@ class TestListeners:
         session = make_session()
         session.register("cc", "CC")
         assert "cc" in repr(session)
+
+
+class TestDefensiveCopies:
+    def test_queries_returns_a_copy(self):
+        session = make_session()
+        session.register("cc", "CC")
+        names = session.queries()
+        names.append("injected")
+        assert session.queries() == ["cc"]
+
+    def test_answer_returns_a_copy(self):
+        session = make_session()
+        session.register("cc", "CC")
+        answer = session.answer("cc")
+        answer[0] = "poisoned"
+        answer[999] = "extra"
+        assert session.answer("cc") == oracle_cc(session.graph)
+
+    def test_answer_copy_isolated_from_later_updates(self):
+        session = make_session()
+        session.register("sssp", "SSSP", query=0)
+        before = session.answer("sssp")
+        session.update(Batch([EdgeInsertion(0, 3, weight=0.5)]))
+        # The earlier extraction is a snapshot, not a live view.
+        assert before[3] == 6.0
+        assert session.answer("sssp")[3] == 0.5
+
+
+class TestSeqAndStreamNotify:
+    def test_seq_tracks_batches(self):
+        session = make_session()
+        session.register("cc", "CC")
+        assert session.seq == -1
+        session.update(Batch([EdgeInsertion(0, 9)]))
+        assert session.seq == 0
+        session.update_stream([Batch([EdgeInsertion(0, 10)]), Batch([EdgeInsertion(0, 11)])])
+        assert session.seq == 2
+
+    def test_update_stream_notifies_once_when_asked(self):
+        session = make_session()
+        events = []
+        session.register("cc", "CC", listener=lambda name, result: events.append(name))
+        stream = [Batch([EdgeInsertion(0, 9)]), Batch([EdgeInsertion(9, 10)])]
+        session.update_stream(stream)
+        assert events == []  # default: no per-stream delivery
+        session.update_stream([Batch([EdgeDeletion(0, 9)])], notify=True)
+        assert events == ["cc"]  # one composed delivery for the stream
+
+    def test_update_stream_isolates_raising_listener(self):
+        session = make_session()
+
+        def bad(name, result):
+            raise RuntimeError("subscriber bug")
+
+        session.register("cc", "CC", listener=bad)
+        session.update_stream([Batch([EdgeInsertion(0, 9)])], notify=True)
+        assert session.seq == 0  # commit survived the listener
+        kinds = [incident.kind for incident in session.incidents]
+        assert "listener-error" in kinds
