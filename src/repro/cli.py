@@ -289,7 +289,7 @@ def cmd_lint(args) -> int:
     except KeyError as exc:
         raise ReproError(str(exc.args[0])) from None
 
-    report = lint_specs(specs, semantic=args.semantic, disabled=disabled)
+    report = lint_specs(specs, semantic=args.semantic, disabled=disabled, threads=args.threads)
     if args.format == "json":
         print(report.render_json())
     else:
@@ -440,6 +440,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--semantic",
         action="store_true",
         help="also run the executed contract checks (slower)",
+    )
+    p_lint.add_argument(
+        "--threads",
+        action="store_true",
+        help="also run the whole-program concurrency pass (T-rules) over "
+        "the library source: single-writer reachability, snapshot "
+        "escapes, lock discipline, WAL ordering",
     )
     p_lint.add_argument(
         "--format", choices=("text", "json"), default="text", help="output format"

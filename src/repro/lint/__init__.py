@@ -19,28 +19,43 @@ Run it from the CLI as ``repro lint [--semantic]`` or programmatically::
 """
 
 from .ast_checks import check_spec_structure
+from .concurrency import DEFAULT_MODEL, ThreadModel, check_concurrency
 from .contracts import ContractOptions, Workload, check_spec_contracts
+from .effects import EffectIndex
 from .report import LintFinding, LintReport
-from .rules import CONTRACT, ERROR, INFO, RULES, STRUCTURAL, WARNING, Rule
-from .runner import builtin_specs, default_options, default_workloads, lint_spec, lint_specs
+from .rules import CONTRACT, ERROR, INFO, RULES, STRUCTURAL, THREADS, WARNING, Rule
+from .runner import (
+    builtin_specs,
+    default_options,
+    default_workloads,
+    lint_spec,
+    lint_specs,
+    lint_threads,
+)
 
 __all__ = [
     "CONTRACT",
     "ContractOptions",
+    "DEFAULT_MODEL",
     "ERROR",
+    "EffectIndex",
     "INFO",
     "LintFinding",
     "LintReport",
     "RULES",
     "Rule",
     "STRUCTURAL",
+    "THREADS",
+    "ThreadModel",
     "WARNING",
     "Workload",
     "builtin_specs",
+    "check_concurrency",
     "check_spec_contracts",
     "check_spec_structure",
     "default_options",
     "default_workloads",
     "lint_spec",
     "lint_specs",
+    "lint_threads",
 ]

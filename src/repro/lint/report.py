@@ -13,7 +13,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .rules import ERROR, INFO, SEVERITIES, WARNING, Rule
+from .rules import CONTRACT, ERROR, INFO, SEVERITIES, STRUCTURAL, THREADS, WARNING, Rule
 
 
 @dataclass
@@ -66,6 +66,7 @@ class LintReport:
     findings: List[LintFinding] = field(default_factory=list)
     specs_checked: List[str] = field(default_factory=list)
     semantic: bool = False
+    threads: bool = False
 
     def extend(self, findings: List[LintFinding]) -> None:
         self.findings.extend(findings)
@@ -96,10 +97,30 @@ class LintReport:
         return not self.errors
 
     # ------------------------------------------------------------------
+    def pass_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-pass finding counts (the ``passes`` block of the JSON
+        report): which passes ran, and how many findings of each
+        severity — including suppressed — each produced."""
+        ran = {STRUCTURAL: True, CONTRACT: self.semantic, THREADS: self.threads}
+        summary: Dict[str, Dict[str, object]] = {}
+        for kind, did_run in ran.items():
+            of_kind = [f for f in self.findings if f.rule.kind == kind]
+            active = [f for f in of_kind if not f.suppressed]
+            summary[kind] = {
+                "ran": did_run,
+                ERROR: sum(1 for f in active if f.severity == ERROR),
+                WARNING: sum(1 for f in active if f.severity == WARNING),
+                INFO: sum(1 for f in active if f.severity == INFO),
+                "suppressed": sum(1 for f in of_kind if f.suppressed),
+                "total": len(of_kind),
+            }
+        return summary
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "specs": list(self.specs_checked),
             "semantic": self.semantic,
+            "threads": self.threads,
             "clean": self.clean,
             "counts": {
                 ERROR: len(self.errors),
@@ -107,6 +128,7 @@ class LintReport:
                 INFO: len(self.active(INFO)),
                 "suppressed": len(self.suppressed),
             },
+            "passes": self.pass_summary(),
             "findings": [f.as_dict() for f in self.findings],
         }
 
@@ -121,7 +143,11 @@ class LintReport:
         shown.sort(key=lambda f: (severity_rank[f.severity], f.spec, f.rule.id))
         lines.extend(f.render() for f in shown)
         checked = ", ".join(self.specs_checked) or "nothing"
-        mode = "structural+contract" if self.semantic else "structural"
+        mode = "structural"
+        if self.semantic:
+            mode += "+contract"
+        if self.threads:
+            mode += "+threads"
         lines.append(
             f"checked {len(self.specs_checked)} spec(s) ({checked}) [{mode}]: "
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "

@@ -11,7 +11,12 @@ monotonic under ``⪯``).  Rules come in two kinds:
 * ``contract`` — decided by executing the spec on small generated
   workloads (:mod:`repro.lint.contracts`); these are the algebraic
   side-conditions Alvarez-Picallo et al. show fixpoint-derivative
-  correctness hinges on.
+  correctness hinges on;
+* ``threads`` — decided by a whole-program effect analysis of the
+  library itself (:mod:`repro.lint.effects` /
+  :mod:`repro.lint.concurrency`): the single-writer, snapshot-isolation,
+  and WAL-ordering invariants the serving tier (:mod:`repro.serve`)
+  documents but the spec-level passes cannot see.
 
 Every rule is individually suppressible — globally through the
 ``disabled`` argument of the runner/CLI, or per spec through the
@@ -33,6 +38,7 @@ SEVERITIES = (ERROR, WARNING, INFO)
 
 STRUCTURAL = "structural"
 CONTRACT = "contract"
+THREADS = "threads"
 
 
 @dataclass(frozen=True)
@@ -42,11 +48,12 @@ class Rule:
     Attributes
     ----------
     id:
-        Stable short id (``S...`` structural, ``C...`` contract).
+        Stable short id (``S...`` structural, ``C...`` contract,
+        ``T...`` threads).
     name:
         Kebab-case mnemonic, usable anywhere the id is.
     kind:
-        ``structural`` or ``contract``.
+        ``structural``, ``contract``, or ``threads``.
     severity:
         Default severity of findings (a finding may downgrade it).
     summary:
@@ -62,7 +69,7 @@ class Rule:
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
             raise ValueError(f"unknown severity {self.severity!r}")
-        if self.kind not in (STRUCTURAL, CONTRACT):
+        if self.kind not in (STRUCTURAL, CONTRACT, THREADS):
             raise ValueError(f"unknown rule kind {self.kind!r}")
 
 
@@ -182,4 +189,44 @@ INCREMENTAL_DIVERGENCE = register(Rule(
 CHECK_CRASHED = register(Rule(
     "C109", "check-crashed", CONTRACT, ERROR,
     "a spec hook raised while a contract check exercised it",
+))
+
+# ----------------------------------------------------------------------
+# Concurrency rules (whole-program effect analysis; see lint/concurrency.py)
+# ----------------------------------------------------------------------
+SINGLE_WRITER_VIOLATION = register(Rule(
+    "T001", "single-writer-violation", THREADS, ERROR,
+    "session/graph mutation must not be reachable from a reader entry "
+    "point except through the writer queue",
+))
+SNAPSHOT_ESCAPE = register(Rule(
+    "T002", "snapshot-escape", THREADS, ERROR,
+    "published AnswerSnapshots (frozen dataclasses) must never be "
+    "mutated, and shared mutable state must not be returned without a "
+    "defensive copy",
+))
+UNGUARDED_SHARED_ACCESS = register(Rule(
+    "T003", "unguarded-shared-access", THREADS, ERROR,
+    "a field written under a lock must not also be accessed bare "
+    "(lock discipline must be all-or-nothing per field)",
+))
+LOCK_ORDER_INVERSION = register(Rule(
+    "T004", "lock-order-inversion", THREADS, ERROR,
+    "two locks must always be acquired in one global order "
+    "(A-then-B somewhere and B-then-A elsewhere deadlocks)",
+))
+BLOCKING_UNDER_LOCK = register(Rule(
+    "T005", "blocking-under-lock", THREADS, WARNING,
+    "no blocking call (fsync, socket, sleep, queue/event wait) while "
+    "holding a lock other than the condition being waited on",
+))
+WAL_ORDERING = register(Rule(
+    "T006", "wal-ordering", THREADS, ERROR,
+    "on a transactional path the WAL append must precede the apply "
+    "(the append-before-apply contract recovery depends on)",
+))
+THREAD_UNSAFE_CALLBACK = register(Rule(
+    "T007", "thread-unsafe-callback", THREADS, ERROR,
+    "user listeners must never be invoked while holding service locks "
+    "(a listener calling back into the service would deadlock)",
 ))

@@ -18,6 +18,7 @@ every rule to run (checks that need missing structure skip themselves).
 from __future__ import annotations
 
 import inspect
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 from ..core.spec import FixpointSpec
@@ -146,13 +147,48 @@ def lint_specs(
     semantic: bool = False,
     disabled: Iterable[str] = (),
     workloads_by_spec: Optional[Dict[str, List[Workload]]] = None,
+    threads: bool = False,
 ) -> LintReport:
-    """Lint many specs (default: every built-in) into one report."""
+    """Lint many specs (default: every built-in) into one report.
+
+    ``threads=True`` additionally runs the whole-program concurrency
+    pass (T-rules) over the library source itself — the findings carry
+    module names in the ``spec`` slot since they concern the serving
+    tier, not any one spec.
+    """
     if specs is None:
         specs = builtin_specs()
-    report = LintReport(semantic=semantic)
+    report = LintReport(semantic=semantic, threads=threads)
     for spec in specs:
         workloads = (workloads_by_spec or {}).get(spec.name)
         report.extend(lint_spec(spec, semantic=semantic, disabled=disabled, workloads=workloads))
         report.specs_checked.append(spec.name)
+    if threads:
+        report.extend(lint_threads(disabled=disabled))
     return report
+
+
+def lint_threads(
+    package_root: Optional[Path] = None,
+    model=None,
+    disabled: Iterable[str] = (),
+) -> List[LintFinding]:
+    """Run the T-rule concurrency pass over a package tree.
+
+    Defaults to the installed :mod:`repro` package itself and the
+    repository's serve-tier :data:`~repro.lint.concurrency.DEFAULT_MODEL`.
+    In-line ``# lint: allow(Txxx): reason`` pragmas and the ``disabled``
+    argument both suppress (visibly, like every other suppression).
+    """
+    from .concurrency import check_concurrency
+    from .effects import EffectIndex
+
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent.parent
+    index = EffectIndex.from_package(Path(package_root), package="repro")
+    findings = check_concurrency(index, model)
+    suppressed_ids = rules.resolve_refs(disabled)
+    for finding in findings:
+        if finding.rule.id in suppressed_ids:
+            finding.suppressed = True
+    return findings

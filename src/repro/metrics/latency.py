@@ -47,7 +47,8 @@ class LatencyRecorder:
     @property
     def count(self) -> int:
         """Lifetime number of samples recorded (not capped by capacity)."""
-        return self._count
+        with self._lock:
+            return self._count
 
     def percentile(self, p: float) -> float:
         """The ``p`` quantile (0..1) of retained samples; 0.0 when empty."""
@@ -124,7 +125,8 @@ class DepthGauge:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
     def snapshot(self, reset: bool = False) -> Dict[str, int]:
         with self._lock:

@@ -21,6 +21,8 @@ four defenses :class:`~repro.session.DynamicGraphSession` weaves in:
 :mod:`~repro.resilience.faults` provides the deterministic
 fault-injection sites the crash-recovery test-suite drives (and the
 ``REPRO_FAULTS`` environment hook for CI smoke runs);
+:mod:`~repro.resilience.sanitizer` is the dynamic thread-sanitizer
+cross-checking the static concurrency lint (``REPRO_TSAN=on``);
 :mod:`~repro.resilience.incidents` is the structured log every defense
 reports into.
 
@@ -44,6 +46,16 @@ from .checkpoint import (
     write_checkpoint,
 )
 from .incidents import Incident, IncidentLog
+from .sanitizer import (
+    SanitizerViolation,
+    apply_starting,
+    claim_owner,
+    guarded_mutation,
+    owner_of,
+    publish_region,
+    release_owner,
+    wal_logged,
+)
 from .transactions import SessionTransaction, restore_graph_inplace, restore_state_inplace
 from .validate import (
     NONNEGATIVE_WEIGHT_ALGORITHMS,

@@ -1,0 +1,373 @@
+"""Dynamic thread-sanitizer cross-check for the single-writer serve tier.
+
+The static pass (``repro lint --threads``, rules T001–T007) proves the
+*code* cannot reach a session mutation from a reader thread.  This
+module is the dynamic half of that argument: cheap happens-before
+assertions at the same choke points, armed at runtime, that catch the
+races the static analysis can only approximate — a test (or an embedder)
+calling :meth:`~repro.session.DynamicGraphSession.update` directly while
+a :class:`~repro.serve.service.QueryService` writer thread owns the
+session, a WAL append observed *after* the apply it logs, two threads
+racing :meth:`SnapshotStore.publish <repro.serve.state.SnapshotStore.publish>`.
+
+Like the fault harness (:mod:`repro.resilience.faults`), the sanitizer
+is armed through the environment: ``REPRO_TSAN=on`` enables every check
+at import; unset (the default) every entry point is a single global load
+and a ``False`` branch, so instrumented hot paths cost nothing in
+production.  Tests can arm it programmatically with :func:`enable` /
+:func:`disable` (or the :func:`enabled_scope` context manager).
+
+Checks
+------
+ownership
+    A thread may :func:`claim_owner` an object (the serve writer thread
+    claims its session).  While claimed, any :func:`guarded_mutation`
+    entered from a *different* thread raises
+    :class:`SanitizerViolation` — the dynamic twin of lint rule T001.
+overlap
+    Even without a claimed owner, two threads inside guarded mutations
+    of the same object at once is a violation (there is no second
+    writer to be "the" writer).
+write-ahead ordering
+    :func:`wal_logged` records each durably-appended sequence number;
+    :func:`apply_starting` asserts the sequence being applied was
+    appended first (the dynamic twin of T006), and appends must be
+    monotonic.
+publication
+    :func:`publish_region` asserts snapshot publication is serial and
+    the published sequence never regresses (readers would otherwise
+    observe time going backwards).
+
+State is held per-object in a :class:`weakref.WeakKeyDictionary`, so
+instrumenting an object never extends its lifetime, and a fresh session
+starts with a clean slate.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "SanitizerViolation",
+    "apply_starting",
+    "claim_owner",
+    "disable",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "guarded_mutation",
+    "owner_of",
+    "publish_region",
+    "release_owner",
+    "reset",
+    "wal_logged",
+]
+
+
+class SanitizerViolation(ReproError):
+    """A happens-before or ownership assertion failed.
+
+    Raised synchronously on the offending thread, at the exact operation
+    that broke the invariant — the sanitizer's whole point is that the
+    stack trace *is* the race report.
+    """
+
+
+_ENABLED = os.environ.get("REPRO_TSAN", "").strip().lower() in ("1", "on", "true", "yes")
+
+#: One lock for all bookkeeping.  Checks run at apply/publish
+#: boundaries (never inside fixpoint loops), so contention is nil; a
+#: single lock keeps every check atomic with respect to every other.
+_LOCK = threading.Lock()
+
+
+class _State:
+    """Sanitizer bookkeeping for one instrumented object."""
+
+    __slots__ = (
+        "owner_ident",
+        "owner_name",
+        "owner_role",
+        "mutator_ident",
+        "mutator_name",
+        "mutator_label",
+        "mutator_depth",
+        "appended_seq",
+        "publisher_ident",
+        "publisher_name",
+        "published_seq",
+    )
+
+    def __init__(self) -> None:
+        self.owner_ident: Optional[int] = None
+        self.owner_name: Optional[str] = None
+        self.owner_role: Optional[str] = None
+        self.mutator_ident: Optional[int] = None
+        self.mutator_name: Optional[str] = None
+        self.mutator_label: Optional[str] = None
+        self.mutator_depth: int = 0
+        self.appended_seq: Optional[int] = None
+        self.publisher_ident: Optional[int] = None
+        self.publisher_name: Optional[str] = None
+        self.published_seq: Optional[int] = None
+
+
+_STATES: "weakref.WeakKeyDictionary[Any, _State]" = weakref.WeakKeyDictionary()
+
+
+def enabled() -> bool:
+    """Whether sanitizer checks are currently armed."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Arm every check (equivalent to ``REPRO_TSAN=on``)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Disarm every check and drop all recorded state."""
+    global _ENABLED
+    _ENABLED = False
+    reset()
+
+
+@contextmanager
+def enabled_scope() -> Iterator[None]:
+    """Arm the sanitizer for a ``with`` block (tests)."""
+    was = _ENABLED
+    enable()
+    try:
+        yield
+    finally:
+        if not was:
+            disable()
+
+
+def reset(obj: Any = None) -> None:
+    """Forget recorded state for ``obj`` (or for everything)."""
+    with _LOCK:
+        if obj is None:
+            _STATES.clear()
+        else:
+            _STATES.pop(obj, None)
+
+
+def _state(obj: Any) -> _State:
+    state = _STATES.get(obj)
+    if state is None:
+        state = _State()
+        _STATES[obj] = state
+    return state
+
+
+# ----------------------------------------------------------------------
+# Ownership
+# ----------------------------------------------------------------------
+def claim_owner(obj: Any, role: str = "writer") -> None:
+    """Declare the calling thread the single writer of ``obj``.
+
+    While the claim stands, any :func:`guarded_mutation` of ``obj``
+    entered from another thread is a violation.  Claiming an object a
+    *different* live thread already owns is itself a violation (two
+    writer loops over one session).
+    """
+    if not _ENABLED:
+        return
+    me = threading.current_thread()
+    with _LOCK:
+        state = _state(obj)
+        if state.owner_ident is not None and state.owner_ident != me.ident:
+            raise SanitizerViolation(
+                f"thread {me.name!r} claimed {_describe(obj)} as {role!r} but "
+                f"thread {state.owner_name!r} already owns it as "
+                f"{state.owner_role!r} — two single-writers"
+            )
+        state.owner_ident = me.ident
+        state.owner_name = me.name
+        state.owner_role = role
+
+
+def release_owner(obj: Any) -> None:
+    """Release the calling thread's ownership claim on ``obj``."""
+    if not _ENABLED:
+        return
+    with _LOCK:
+        state = _STATES.get(obj)
+        if state is None:
+            return
+        state.owner_ident = None
+        state.owner_name = None
+        state.owner_role = None
+
+
+def owner_of(obj: Any) -> Optional[str]:
+    """Name of the thread currently owning ``obj``, or ``None``."""
+    if not _ENABLED:
+        return None
+    with _LOCK:
+        state = _STATES.get(obj)
+        return state.owner_name if state is not None else None
+
+
+# ----------------------------------------------------------------------
+# Guarded mutations
+# ----------------------------------------------------------------------
+def guarded_mutation(label: str) -> Callable:
+    """Decorate a method as a single-writer mutation point.
+
+    On entry (when armed) the calling thread must either *be* the
+    claimed owner, or — with no claim standing — be the only thread
+    inside any guarded mutation of the object.  Re-entrant calls on the
+    same thread are fine (``recover`` re-registers queries, ``close``
+    checkpoints).
+    """
+
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            if not _ENABLED:
+                return func(self, *args, **kwargs)
+            _mutation_enter(self, label)
+            try:
+                return func(self, *args, **kwargs)
+            finally:
+                _mutation_exit(self)
+
+        return wrapper
+
+    return decorate
+
+
+def _mutation_enter(obj: Any, label: str) -> None:
+    me = threading.current_thread()
+    with _LOCK:
+        state = _state(obj)
+        if state.owner_ident is not None and state.owner_ident != me.ident:
+            raise SanitizerViolation(
+                f"{label} called from thread {me.name!r} while thread "
+                f"{state.owner_name!r} owns {_describe(obj)} as "
+                f"{state.owner_role!r} — route the op through the owner"
+            )
+        if state.mutator_ident is not None and state.mutator_ident != me.ident:
+            raise SanitizerViolation(
+                f"{label} called from thread {me.name!r} while thread "
+                f"{state.mutator_name!r} is inside {state.mutator_label} on "
+                f"{_describe(obj)} — overlapping mutations"
+            )
+        state.mutator_ident = me.ident
+        state.mutator_name = me.name
+        state.mutator_label = label
+        state.mutator_depth += 1
+
+
+def _mutation_exit(obj: Any) -> None:
+    with _LOCK:
+        state = _STATES.get(obj)
+        if state is None:
+            return
+        state.mutator_depth -= 1
+        if state.mutator_depth <= 0:
+            state.mutator_depth = 0
+            state.mutator_ident = None
+            state.mutator_name = None
+            state.mutator_label = None
+
+
+# ----------------------------------------------------------------------
+# Write-ahead ordering
+# ----------------------------------------------------------------------
+def wal_logged(obj: Any, seq: int) -> None:
+    """Record that batch ``seq`` was durably appended to ``obj``'s WAL.
+
+    Appends must be strictly monotonic — a duplicate or regressing
+    sequence number means two code paths are racing the log.
+    """
+    if not _ENABLED:
+        return
+    with _LOCK:
+        state = _state(obj)
+        if state.appended_seq is not None and seq <= state.appended_seq:
+            raise SanitizerViolation(
+                f"WAL append seq {seq} on {_describe(obj)} is not past the "
+                f"last appended seq {state.appended_seq} — racing appends"
+            )
+        state.appended_seq = seq
+
+
+def apply_starting(obj: Any, seq: int, durable: bool = True) -> None:
+    """Assert batch ``seq`` was WAL-appended before this apply begins.
+
+    The write-ahead invariant (lint rule T006, dynamically): a durable
+    session must never mutate replicas for a batch the log does not yet
+    contain, or a crash mid-apply leaves recovery with no record of the
+    half-applied batch.  Non-durable sessions (``durable=False``) have
+    no log to order against and pass trivially.
+    """
+    if not _ENABLED or not durable:
+        return
+    with _LOCK:
+        state = _state(obj)
+        appended = state.appended_seq
+    if appended is not None and seq <= appended:
+        return
+    raise SanitizerViolation(
+            f"apply of batch seq {seq} on {_describe(obj)} is starting but "
+            f"the WAL has only appended up to "
+            f"{'nothing' if appended is None else appended} — "
+            f"write-ahead ordering violated"
+        )
+
+
+# ----------------------------------------------------------------------
+# Publication
+# ----------------------------------------------------------------------
+@contextmanager
+def publish_region(store: Any, seq: int) -> Iterator[None]:
+    """Wrap one snapshot publication at ``seq``.
+
+    Publication must be serial (one publisher at a time) and monotonic
+    (``seq`` never regresses) — otherwise a reader could long-poll past
+    a version and then be served an older fixpoint.
+    """
+    if not _ENABLED:
+        yield
+        return
+    me = threading.current_thread()
+    with _LOCK:
+        state = _state(store)
+        if state.publisher_ident is not None and state.publisher_ident != me.ident:
+            raise SanitizerViolation(
+                f"thread {me.name!r} entered publish on {_describe(store)} "
+                f"while thread {state.publisher_name!r} is mid-publish — "
+                f"concurrent publishers"
+            )
+        if state.published_seq is not None and seq < state.published_seq:
+            raise SanitizerViolation(
+                f"publish at seq {seq} on {_describe(store)} regresses below "
+                f"the last published seq {state.published_seq}"
+            )
+        state.publisher_ident = me.ident
+        state.publisher_name = me.name
+    try:
+        yield
+    finally:
+        with _LOCK:
+            state = _STATES.get(store)
+            if state is not None:
+                state.publisher_ident = None
+                state.publisher_name = None
+                if state.published_seq is None or seq > state.published_seq:
+                    state.published_seq = seq
+
+
+def _describe(obj: Any) -> str:
+    return f"{type(obj).__name__}@{id(obj):#x}"

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Union
 from ..errors import Deadline, Overloaded, ReproError, ServiceClosed
 from ..graph.updates import Batch, Update
 from ..metrics.latency import DepthGauge, LatencyRecorder
+from ..resilience.sanitizer import claim_owner, release_owner
 from ..session import DynamicGraphSession
 from .state import AnswerSnapshot, SnapshotStore
 
@@ -271,6 +272,8 @@ class QueryService:
         return its initial published snapshot."""
         if self._writer is None:
             # Not serving yet: register synchronously, snapshot directly.
+            # lint: allow(T001): pre-start path — the writer thread does
+            # not exist yet, so the caller is the only thread alive here
             self.session.register(name, algorithm, query=query, listener=listener)
             self._publish()
             return self.store.get(name)
@@ -282,6 +285,7 @@ class QueryService:
 
     def unregister(self, name: str, deadline: Optional[float] = None) -> None:
         if self._writer is None:
+            # lint: allow(T001): pre-start path — no writer thread yet
             self.session.unregister(name)
             self._publish()
             return
@@ -353,23 +357,29 @@ class QueryService:
     # Writer thread
     # ------------------------------------------------------------------
     def _writer_loop(self) -> None:
-        while True:
-            try:
-                first = self._queue.get(timeout=0.05)
-            except queue.Empty:
-                if self._closing.is_set():
-                    break
-                continue
-            window: List[_Op] = [first]
-            while len(window) < self.config.write_window:
+        # Under REPRO_TSAN the writer thread claims the session: any
+        # other thread mutating it while we run is a reported race.
+        claim_owner(self.session, role="serve-writer")
+        try:
+            while True:
                 try:
-                    window.append(self._queue.get_nowait())
+                    first = self._queue.get(timeout=0.05)
                 except queue.Empty:
-                    break
-            self._depth.set(self._queue.qsize())
-            self._run_window(window)
-        # Final snapshots reflect the fully-drained state.
-        self._publish()
+                    if self._closing.is_set():
+                        break
+                    continue
+                window: List[_Op] = [first]
+                while len(window) < self.config.write_window:
+                    try:
+                        window.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+                self._depth.set(self._queue.qsize())
+                self._run_window(window)
+            # Final snapshots reflect the fully-drained state.
+            self._publish()
+        finally:
+            release_owner(self.session)
 
     def _run_window(self, window: List[_Op]) -> None:
         """Commit one admitted window: shed expired ops, group runs of

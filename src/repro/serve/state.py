@@ -32,6 +32,7 @@ from time import monotonic
 from typing import Any, Dict, List, Optional
 
 from ..errors import ReproError
+from ..resilience.sanitizer import publish_region
 
 
 @dataclass(frozen=True)
@@ -115,7 +116,16 @@ class SnapshotStore:
         when the answer changed.  Queries absent from ``answers`` are
         retired (unregistered).  Returns the new snapshot map.
         """
-        current = self._snapshots
+        # publish_region is the dynamic sanitizer's serial-publication /
+        # monotonic-seq assertion (no-op unless REPRO_TSAN is armed).
+        with publish_region(self, seq):
+            return self._publish_impl(answers, seq, algorithms)
+
+    def _publish_impl(
+        self, answers: Dict[str, Any], seq: int, algorithms: Dict[str, str]
+    ) -> Dict[str, AnswerSnapshot]:
+        with self._cond:
+            current = self._snapshots
         fresh: Dict[str, AnswerSnapshot] = {}
         for name, answer in answers.items():
             previous = current.get(name)
@@ -148,19 +158,24 @@ class SnapshotStore:
             self._snapshots = fresh
             self._published += 1
             self._cond.notify_all()
-        return fresh
+        # A fresh dict: the caller gets the same (immutable) snapshots
+        # but can never mutate the map readers are now being served from.
+        return dict(fresh)
 
     # ------------------------------------------------------------------
     # Reader side
     # ------------------------------------------------------------------
     def get(self, name: str) -> AnswerSnapshot:
         """The current snapshot of one query (never blocks)."""
+        # lint: allow(T003): copy-on-write read — the map is replaced,
+        # never mutated, and a reference load is atomic under the GIL
         snapshot = self._snapshots.get(name)
         if snapshot is None:
             raise ReproError(f"query {name!r} is not registered")
         return snapshot
 
     def names(self) -> List[str]:
+        # lint: allow(T003): copy-on-write read (see get)
         return list(self._snapshots)
 
     def wait_for(
@@ -188,11 +203,13 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     @property
     def published_windows(self) -> int:
-        return self._published
+        with self._cond:
+            return self._published
 
     def as_dict(self) -> Dict[str, Dict[str, Any]]:
         """Version/seq summary per query (the ``stats`` payload)."""
+        # lint: allow(T003): copy-on-write read (see get)
         return {name: snap.as_dict() for name, snap in self._snapshots.items()}
 
     def __repr__(self) -> str:
-        return f"SnapshotStore(queries={self.names()}, windows={self._published})"
+        return f"SnapshotStore(queries={self.names()}, windows={self.published_windows})"

@@ -79,6 +79,7 @@ from .resilience.audit import AuditReport, QueryAudit, full_audit, sigma_audit
 from .resilience.checkpoint import WAL_FILE, load_checkpoint, write_checkpoint
 from .resilience.faults import InjectedFault, inject
 from .resilience.incidents import IncidentLog
+from .resilience.sanitizer import apply_starting, guarded_mutation, wal_logged
 from .resilience.transactions import SessionTransaction
 from .resilience.validate import session_weight_requirements, validate_batch
 from .resilience.wal import WriteAheadLog
@@ -165,6 +166,7 @@ class DynamicGraphSession:
             self._wal = WriteAheadLog(wal_path, fsync=self.config.fsync)
 
     # ------------------------------------------------------------------
+    @guarded_mutation("session.register")
     def register(
         self,
         name: str,
@@ -203,6 +205,7 @@ class DynamicGraphSession:
         self._checkpoint_if_durable()
         return registered
 
+    @guarded_mutation("session.unregister")
     def unregister(self, name: str) -> None:
         if name not in self._queries:
             raise ReproError(f"query {name!r} is not registered")
@@ -231,6 +234,7 @@ class DynamicGraphSession:
     # ------------------------------------------------------------------
     # Applying updates
     # ------------------------------------------------------------------
+    @guarded_mutation("session.update")
     def update(self, delta) -> Dict[str, IncrementalResult]:
         """Apply ``ΔG`` to the graph and maintain every registered query.
 
@@ -253,6 +257,7 @@ class DynamicGraphSession:
         inject("session.pre-apply")
         self._validate(delta)
         seq = self._log(delta)
+        apply_starting(self, seq, durable=self._wal is not None)
 
         txn = (
             SessionTransaction.begin(self._queries.values())
@@ -275,6 +280,7 @@ class DynamicGraphSession:
         self._run_cadences()
         return results
 
+    @guarded_mutation("session.update_stream")
     def update_stream(self, stream, notify: bool = False) -> Dict[str, Any]:
         """Apply a whole update stream with per-query coalescing.
 
@@ -306,6 +312,7 @@ class DynamicGraphSession:
             self._validate(batch, graph=scratch)
             apply_updates(scratch, batch)
         seqs = [self._log(batch) for batch in stream]
+        apply_starting(self, seqs[-1], durable=self._wal is not None)
 
         txn = (
             SessionTransaction.begin(self._queries.values())
@@ -369,6 +376,7 @@ class DynamicGraphSession:
             except Exception as exc:
                 self.incidents.record("wal-error", detail=str(exc), error=exc, seq=seq)
                 raise SessionError(f"WAL append for batch {seq} failed: {exc}") from exc
+            wal_logged(self, seq)
         self._seq = seq
         return seq
 
@@ -533,6 +541,7 @@ class DynamicGraphSession:
             self.incidents.record("checkpoint-error", detail=str(exc), error=exc, seq=self._seq)
             raise
 
+    @guarded_mutation("session.close")
     def close(self) -> None:
         """Checkpoint (when durable) and release the WAL handle."""
         if self._wal is not None:
@@ -684,6 +693,7 @@ class DynamicGraphSession:
             report.entries.append(entry)
         return report
 
+    @guarded_mutation("session.heal")
     def heal(self, name: str) -> None:
         """Recompute a quarantined query and restore its incremental path."""
         registered = self._query(name)

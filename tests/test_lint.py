@@ -350,10 +350,10 @@ class TestRegistryAndReport:
         assert refs == frozenset({"C105", "S001"})
 
     def test_registry_is_consistent(self):
-        assert len(RULES) >= 16
+        assert len(RULES) >= 23  # S001-S009, C101-C109, T001-T007
         for rule_id, rule in RULES.items():
             assert rule.id == rule_id
-            assert rule.kind in ("structural", "contract")
+            assert rule.kind in ("structural", "contract", "threads")
 
     def test_disable_marks_findings_suppressed(self):
         findings = lint_spec(MutatingSpec(), disabled=["mutating-update", "S007"])
@@ -497,3 +497,76 @@ class TestFrontierSeeding:
         from repro.lint.kernel_checks import check_frontier_seeding
 
         assert not check_frontier_seeding(SSSPSpec())
+
+
+# ======================================================================
+# S008/S009 edge cases: the declaration hook itself misbehaving
+# ======================================================================
+class TestKernelCheckEdgeCases:
+    def test_s008_kernel_hook_raising_is_flagged(self):
+        from repro.lint.kernel_checks import check_kernel_declaration
+
+        class RaisingKernelSpec(_MinimalSpec):
+            name = "RaisingKernel"
+
+            def kernel(self):
+                raise RuntimeError("declaration exploded")
+
+        findings = check_kernel_declaration(RaisingKernelSpec())
+        assert rule_ids(findings) == {"S008"}
+        assert "must not fail" in findings[0].message
+
+    def test_s009_silent_when_kernel_hook_raises(self):
+        # A crashing kernel() is S008's finding; S009 must not pile a
+        # second, misleading "unseedable" report on top of it.
+        from repro.lint.kernel_checks import check_frontier_seeding
+
+        class RaisingKernelSpec(_MinimalSpec):
+            name = "RaisingKernel"
+
+            def kernel(self):
+                raise RuntimeError("declaration exploded")
+
+        assert check_frontier_seeding(RaisingKernelSpec()) == []
+
+    def test_s009_partial_override_names_only_missing_hooks(self):
+        from repro.lint.kernel_checks import check_frontier_seeding
+
+        class HalfSeededSpec(FrontierUnseedableSpec):
+            name = "HalfSeeded"
+
+            def changed_input_keys(self, graph, delta, query):
+                return []
+
+        findings = check_frontier_seeding(HalfSeededSpec())
+        assert rule_ids(findings) == {"S009"}
+        message = findings[0].message
+        assert "changed_input_keys" not in message
+        assert "repair_seed_keys" in message
+        assert "anchor_dependents" in message
+
+    def test_s009_full_override_is_clean(self):
+        from repro.lint.kernel_checks import check_frontier_seeding
+
+        class FullySeededSpec(FrontierUnseedableSpec):
+            name = "FullySeeded"
+
+            def changed_input_keys(self, graph, delta, query):
+                return []
+
+            def repair_seed_keys(self, graph, delta, query):
+                return []
+
+            def anchor_dependents(self, key, graph, query):
+                return []
+
+        assert check_frontier_seeding(FullySeededSpec()) == []
+
+    def test_s008_and_s009_both_fire_on_unverifiable_unseedable_spec(self):
+        # A spec that declares a kernel, has no incremental path *and*
+        # whose claim cannot be replayed gets both findings from the
+        # structural pass — neither masks the other.
+        findings = lint_spec(FrontierUnseedableSpec(), semantic=False)
+        ids = rule_ids(findings)
+        assert "S009" in ids
+        assert "S008" not in ids  # the COPY claim replays consistently
