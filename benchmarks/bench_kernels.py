@@ -41,12 +41,12 @@ so the speedup trajectory stays visible.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
 from collections import defaultdict
 from pathlib import Path
+
+from _shared import record_results
 
 from repro.algorithms.cc import CCSpec, IncCC
 from repro.algorithms.reach import IncReach, ReachSpec
@@ -334,26 +334,8 @@ def main() -> int:
         bench_batch(results, edges, args.repeats)
         bench_incremental(results, edges, ops=300)
 
-    # Append-only trajectory: keep every earlier run's rows, tag rows
-    # that predate tagging as run 2 (the PR 2 baseline), and number this
-    # invocation one past the newest run on file.
-    existing = []
-    if args.out.exists():
-        existing = json.loads(args.out.read_text()).get("results", [])
-        for entry in existing:
-            entry.setdefault("run", 2)
-    run = max((entry["run"] for entry in existing), default=1) + 1
-    for entry in results:
-        entry["run"] = run
-
-    payload = {
-        "schema": 2,
-        "suite": "kernels",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "results": existing + results,
-    }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    # Untagged rows predate run-tagging and came from the PR 2 baseline.
+    run = record_results(args.out, "kernels", results, legacy_run=2)
     print(f"wrote {args.out} (run {run})")
     return 0
 

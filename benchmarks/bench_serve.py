@@ -4,41 +4,56 @@
 Two modes:
 
 ``--smoke``
-    Fast CI gate: start a server on an ephemeral port, run ~2 seconds
-    of mixed read/write closed-loop load from concurrent clients, then
-    assert (a) the differential isolation check finds **zero torn
-    reads** — every served answer equals a from-scratch batch
-    recomputation at its reported WAL sequence number, (b) reads and
+    Fast CI gate, run twice — once over the single-writer session and
+    once over a 2-shard :class:`~repro.parallel.ShardedSession` with
+    real worker processes: start a server on an ephemeral port, run ~2
+    seconds of mixed read/write closed-loop load from concurrent
+    clients, then assert (a) the differential isolation check finds
+    **zero torn reads** — every served answer equals a from-scratch
+    batch recomputation at its reported sequence number, (b) reads and
     writes actually flowed, and (c) the service drains and shuts down
     cleanly.  Exits non-zero on any failure.
 
 default (full)
-    Timed load runs against an in-process server, one per workload mix:
+    Timed load runs against an in-process server, swept over the shard
+    count (1 / 2 / 4 / 8 — ``shards=1`` is the plain single-writer
+    session, ``shards>1`` the multi-process sharded tier) and two
+    workload mixes per shard count:
 
     * ``read_heavy`` — 95% reads / 5% writes, the standing-query
       serving regime the snapshot store is built for;
     * ``write_heavy`` — 50% reads / 50% writes, stressing the writer
-      window batching and admission queue.
+      window batching and the cross-shard boundary-delta fixpoint.
 
     Each records throughput (ops/s) and read/write latency percentiles
-    (p50/p99) plus the service's own window counters.  The JSON file is
-    append-only across PRs: each invocation keeps earlier runs' rows
-    and appends its own under the next run number.
+    (p50/p99) plus the service's own window counters, and every mix is
+    gated on zero isolation violations.  The JSON file is append-only
+    across PRs (see ``benchmarks/_shared.record_results``).
+
+    Caveat for reading the shard sweep: sharding buys wall-clock
+    throughput only when worker processes run on distinct cores.  On a
+    single-core host the sweep instead measures pure protocol overhead
+    (every superstep serialized), so the recorded numbers there are an
+    upper bound on coordination cost, not a scaling curve.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
+import os
 import sys
 from pathlib import Path
 
+from _shared import record_results
+
 from repro.generators import assign_weights, erdos_renyi
+from repro.parallel import ShardedSession
 from repro.serve import QueryServer, QueryService, ServiceConfig, run_load, verify_isolation
 from repro.session import DynamicGraphSession
 
 QUERIES = {"cc": ("CC", None), "sssp": ("SSSP", 0), "sswp": ("SSWP", 0)}
+
+SHARD_SWEEP = (1, 2, 4, 8)
 
 
 def make_graph(edges: int, seed: int = 7):
@@ -46,9 +61,13 @@ def make_graph(edges: int, seed: int = 7):
     return assign_weights(erdos_renyi(n, edges, directed=False, seed=seed), seed=seed)
 
 
-def start_server(edges: int, queue_size: int = 256):
+def start_server(edges: int, queue_size: int = 256, shards: int = 1):
     graph = make_graph(edges)
-    service = QueryService(DynamicGraphSession(graph), ServiceConfig(queue_size=queue_size))
+    if shards == 1:
+        session = DynamicGraphSession(graph)
+    else:
+        session = ShardedSession(graph, shards, processes=True)
+    service = QueryService(session, ServiceConfig(queue_size=queue_size))
     for name, (algorithm, query) in QUERIES.items():
         service.register(name, algorithm, query=query)
     service.start()
@@ -56,7 +75,7 @@ def start_server(edges: int, queue_size: int = 256):
     return graph, service, server
 
 
-def run_mix(server, service, graph, *, name, read_fraction, duration, threads, seed):
+def run_mix(server, service, graph, *, name, shards, read_fraction, duration, threads, seed):
     host, port = server.address
     base_seq = service.session.seq
     base_graph = service.session.graph.copy()
@@ -76,6 +95,7 @@ def run_mix(server, service, graph, *, name, read_fraction, duration, threads, s
     summary = report.summary()
     entry = {
         "name": name,
+        "shards": shards,
         "edges": graph.num_edges,
         "nodes": graph.num_nodes,
         "threads": threads,
@@ -93,7 +113,7 @@ def run_mix(server, service, graph, *, name, read_fraction, duration, threads, s
         "isolation_violations": len(violations),
     }
     print(
-        f"{name:12s} {entry['throughput_ops_s']:10.0f} ops/s  "
+        f"{name:12s} shards={shards}  {entry['throughput_ops_s']:10.0f} ops/s  "
         f"read p50 {entry['read_p50_ms']:.2f}ms p99 {entry['read_p99_ms']:.2f}ms  "
         f"write p50 {entry['write_p50_ms']:.2f}ms p99 {entry['write_p99_ms']:.2f}ms  "
         f"violations={len(violations)}"
@@ -101,39 +121,49 @@ def run_mix(server, service, graph, *, name, read_fraction, duration, threads, s
     return entry, violations
 
 
-def smoke() -> int:
-    graph, service, server = start_server(edges=400)
-    try:
-        entry, violations = run_mix(
-            server,
-            service,
-            graph,
-            name="smoke",
-            read_fraction=0.8,
-            duration=2.0,
-            threads=8,
-            seed=17,
+def _check_entry(name: str, entry, violations) -> bool:
+    if violations:
+        for violation in violations[:5]:
+            print(f"FAIL: {violation}", file=sys.stderr)
+        return False
+    if entry["reads"] == 0 or entry["writes"] == 0:
+        print(
+            f"FAIL: {name} degenerate load "
+            f"(reads={entry['reads']}, writes={entry['writes']})",
+            file=sys.stderr,
         )
-        if violations:
-            for violation in violations[:5]:
-                print(f"FAIL: {violation}", file=sys.stderr)
-            return 1
-        if entry["reads"] == 0 or entry["writes"] == 0:
-            print(
-                f"FAIL: degenerate load (reads={entry['reads']}, writes={entry['writes']})",
-                file=sys.stderr,
+        return False
+    return True
+
+
+def smoke() -> int:
+    for shards in (1, 2):
+        graph, service, server = start_server(edges=400, shards=shards)
+        try:
+            entry, violations = run_mix(
+                server,
+                service,
+                graph,
+                name="smoke",
+                shards=shards,
+                read_fraction=0.8,
+                duration=2.0,
+                threads=8,
+                seed=17,
             )
+            if not _check_entry(f"smoke shards={shards}", entry, violations):
+                return 1
+        finally:
+            server.stop()
+            service.close()
+        if not service.closed:
+            print("FAIL: service did not close cleanly", file=sys.stderr)
             return 1
-    finally:
-        server.stop()
-        service.close()
-    if not service.closed:
-        print("FAIL: service did not close cleanly", file=sys.stderr)
-        return 1
-    print(
-        f"smoke OK: {entry['reads']} reads / {entry['writes']} writes, "
-        "0 isolation violations, clean shutdown"
-    )
+        print(
+            f"smoke OK ({shards} shard{'s' if shards > 1 else ''}): "
+            f"{entry['reads']} reads / {entry['writes']} writes, "
+            "0 isolation violations, clean shutdown"
+        )
     return 0
 
 
@@ -144,6 +174,13 @@ def main() -> int:
     parser.add_argument("--threads", type=int, default=8, help="client threads")
     parser.add_argument("--edges", type=int, default=2_000, help="base graph size")
     parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="*",
+        default=list(SHARD_SWEEP),
+        help="shard counts to sweep (full mode)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
@@ -153,53 +190,43 @@ def main() -> int:
     if args.smoke:
         return smoke()
 
-    graph, service, server = start_server(edges=args.edges)
     results = []
-    try:
-        for seed, (name, read_fraction) in enumerate(
-            (("read_heavy", 0.95), ("write_heavy", 0.5)), start=29
-        ):
-            entry, violations = run_mix(
-                server,
-                service,
-                graph,
-                name=name,
-                read_fraction=read_fraction,
-                duration=args.duration,
-                threads=args.threads,
-                seed=seed,
-            )
-            if violations:
-                for violation in violations[:5]:
-                    print(f"FAIL: {violation}", file=sys.stderr)
-                return 1
-            if entry["reads"] == 0 or entry["writes"] == 0:
-                print(
-                    f"FAIL: {name} degenerate load "
-                    f"(reads={entry['reads']}, writes={entry['writes']})",
-                    file=sys.stderr,
+    seed = 29
+    for shards in args.shards:
+        graph, service, server = start_server(edges=args.edges, shards=shards)
+        try:
+            for name, read_fraction in (("read_heavy", 0.95), ("write_heavy", 0.5)):
+                entry, violations = run_mix(
+                    server,
+                    service,
+                    graph,
+                    name=name,
+                    shards=shards,
+                    read_fraction=read_fraction,
+                    duration=args.duration,
+                    threads=args.threads,
+                    seed=seed,
                 )
-                return 1
-            results.append(entry)
-    finally:
-        server.stop()
-        service.close()
+                seed += 1
+                if not _check_entry(f"{name} shards={shards}", entry, violations):
+                    return 1
+                results.append(entry)
+        finally:
+            server.stop()
+            service.close()
 
-    existing = []
-    if args.out.exists():
-        existing = json.loads(args.out.read_text()).get("results", [])
-    run = max((entry.get("run", 1) for entry in existing), default=0) + 1
-    for entry in results:
-        entry["run"] = run
+    baseline = next(
+        (e for e in results if e["name"] == "write_heavy" and e["shards"] == 1), None
+    )
+    if baseline:
+        print(f"\nwrite-heavy scaling vs 1 shard ({os.cpu_count()} CPU core(s) visible):")
+        for entry in results:
+            if entry["name"] != "write_heavy":
+                continue
+            ratio = entry["throughput_ops_s"] / baseline["throughput_ops_s"]
+            print(f"  shards={entry['shards']}: {ratio:5.2f}x")
 
-    payload = {
-        "schema": 1,
-        "suite": "serve",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "results": existing + results,
-    }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    run = record_results(args.out, "serve", results)
     print(f"wrote {args.out} (run {run})")
     return 0
 

@@ -6,8 +6,9 @@ Usage (also via ``python -m repro``):
     python -m repro run ALGO GRAPH         # batch answer
     python -m repro inc ALGO GRAPH UPDATES # batch + incremental maintenance
     python -m repro datasets               # list the proxy datasets
-    python -m repro recover DIR            # rebuild a crashed session
+    python -m repro recover DIR            # rebuild a crashed session (sharded or plain)
     python -m repro audit DIR              # σ_A invariant audit (exit 1 if dirty)
+    python -m repro serve GRAPH --shards N # sharded multi-process serving tier
 
 ``GRAPH`` is an edge-list file (``u v [weight]``), a labeled edge list
 (autodetected via ``--labeled``), or a dataset name prefixed with ``@``
@@ -181,8 +182,13 @@ def cmd_inc(args) -> int:
 
 
 def cmd_recover(args) -> int:
+    from pathlib import Path
+
+    from .resilience import SHARDING_FILE
     from .session import DynamicGraphSession
 
+    if (Path(args.directory) / SHARDING_FILE).exists():
+        return _recover_sharded(args)
     session = DynamicGraphSession.recover(args.directory)
     document = {
         "queries": {
@@ -199,6 +205,37 @@ def cmd_recover(args) -> int:
     if args.audit:
         report = session.audit(full=args.full, heal=not args.no_heal)
         document["audit"] = report.as_dict()
+    session.close()
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def _recover_sharded(args) -> int:
+    """Reassemble a sharded base directory (``sharding.json`` manifest).
+
+    All shards recover or the command fails with a typed
+    :class:`~repro.errors.ShardRecoveryError` — never a partial session.
+    """
+    from .parallel import ShardedSession
+
+    if args.audit:
+        raise ReproError(
+            "--audit is not supported for sharded directories; the recovery "
+            "full-resync already re-derives every value from the fragments"
+        )
+    session = ShardedSession.recover(args.directory)
+    document = {
+        "sharded": True,
+        "num_shards": session.num_shards,
+        "seq": session.seq,
+        "queries": {
+            name: {"algorithm": session._queries[name].algorithm}
+            for name in session.queries()
+        },
+        "batches_replayed": session.batches_applied,
+        "graph": {"nodes": session.graph.num_nodes, "edges": session.graph.num_edges},
+        "incidents": session.incidents.as_dicts(),
+    }
     session.close()
     print(json.dumps(document, indent=2))
     return 0
@@ -236,13 +273,23 @@ def _parse_register(spec: str) -> Tuple[str, str, Any]:
 
 
 def cmd_serve(args) -> int:
-    from .resilience import SessionConfig
+    from pathlib import Path
+
+    from .resilience import SHARDING_FILE, SessionConfig
     from .serve import QueryService, ServiceConfig, serve_forever
     from .session import DynamicGraphSession
 
     registrations = [_parse_register(spec) for spec in (args.register or [])]
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        raise ReproError("--shards must be at least 1")
     if args.recover:
-        session = DynamicGraphSession.recover(args.recover)
+        if (Path(args.recover) / SHARDING_FILE).exists():
+            from .parallel import ShardedSession
+
+            session = ShardedSession.recover(args.recover, processes=True)
+        else:
+            session = DynamicGraphSession.recover(args.recover)
     else:
         if args.graph is None:
             raise ReproError("serve needs a GRAPH (or --recover DIR)")
@@ -254,7 +301,16 @@ def cmd_serve(args) -> int:
             )
         graph = load_graph(args.graph, directed=args.directed, labeled=args.labeled)
         config = SessionConfig(directory=args.directory) if args.directory else None
-        session = DynamicGraphSession(graph, config=config)
+        if shards > 1:
+            # The sharded tier: one worker process per fragment, the
+            # single-writer path (shards=1) stays on the plain session.
+            from .parallel import ShardedSession
+
+            session = ShardedSession(
+                graph, shards, config=config, seed=args.shard_seed, processes=True
+            )
+        else:
+            session = DynamicGraphSession(graph, config=config)
 
     service = QueryService(
         session,
@@ -414,6 +470,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--window", type=int, default=32, help="max update batches coalesced per writer window"
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the session across N worker processes with boundary-delta "
+        "exchange (1 = the plain single-writer session)",
+    )
+    p_serve.add_argument(
+        "--shard-seed",
+        type=int,
+        default=0,
+        help="partitioning seed for --shards (must match across restarts)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

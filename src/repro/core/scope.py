@@ -25,6 +25,14 @@ The implementation follows Figure 4 line by line:
 Because contributors precede their dependents in ``<_C``, pops are
 monotone in the order and each variable needs processing at most once.
 
+The queue-driven repair (steps 2–4) also serves a second consumer: the
+boundary-delta absorption of the sharded tier
+(:mod:`repro.parallel.boundary`), where the "update" is not ``ΔG`` but an
+authoritative owner value raising a replica variable.  :func:`repair_pass`
+packages the loop for both callers; the replica case passes the pinned
+variables as *trusted* so their externally-imposed values are read as
+feasible and never locally re-evaluated.
+
 Boundedness: every repaired variable either changes value on ``G ⊕ ΔG``
 or has an evolved input set, so ``H⁰ ⊆ AFF`` (Section 4); this is checked
 empirically by :mod:`repro.core.boundedness`.
@@ -33,7 +41,7 @@ empirically by :mod:`repro.core.boundedness`.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, Hashable, Set, Tuple
+from typing import Any, Dict, Hashable, Iterable, Optional, Set
 
 from ..graph.graph import Graph
 from ..graph.updates import Batch
@@ -42,53 +50,40 @@ from .spec import FixpointSpec
 from .state import FixpointState
 
 
-def initial_scope(
+def repair_pass(
     spec: FixpointSpec,
     graph_new: Graph,
     query: Any,
     state: FixpointState,
-    delta: Batch,
+    seeds: Iterable[Hashable],
+    h_scope: Set[Hashable],
+    trusted: Iterable[Hashable] = (),
+    old_values: Optional[Dict[Hashable, Any]] = None,
+    old_ts: Optional[Dict[Hashable, int]] = None,
 ) -> Set[Hashable]:
-    """Run ``h``: repair ``state`` to ``D⁰`` in place and return ``H⁰``.
+    """Run the Figure-4 repair queue (lines 2–9) over ``seeds``.
 
-    ``graph_new`` must already be ``G ⊕ ΔG``; ``state`` must hold the
-    fixpoint of the batch run on ``G``.
+    Repairs ``state`` in place toward a feasible ``D⁰`` and adds every
+    repaired variable to ``h_scope`` (mutated in place, also returned).
+
+    ``trusted`` variables are treated as already repaired: their current
+    values are read as feasible (line 5's "earlier in the order" branch)
+    and they are never popped for re-evaluation themselves — this is how
+    boundary absorption pins authoritative owner values.  ``old_values``
+    / ``old_ts`` seed the pre-repair overlay the order ``<_C`` is
+    computed from; callers that changed values *before* invoking the
+    pass (again: boundary pins) record the pre-change values there.
     """
     counter = state.counter
     counting = not isinstance(counter, NullCounter)
 
-    # Vertex updates (Section 4): retire variables of deleted nodes,
-    # seed variables of inserted ones at x^⊥.
-    for key in spec.removed_variables(delta, graph_new, query):
-        state.drop(key)
-    fresh_keys = set()
-    for key in spec.new_variables(delta, graph_new, query):
-        if key not in state.values:
-            state.seed(key, spec.initial_value(key, graph_new, query))
-            fresh_keys.add(key)
-
-    # Line 1: variables with evolved input sets.
-    seeds = {
-        key
-        for key in spec.changed_input_keys(delta, graph_new, query)
-        if key in state.values
-    }
-    seeds.update(fresh_keys)
-    h_scope: Set[Hashable] = set(seeds)
-
-    if not spec.repair_with_scope_function:
-        # Dependency-free specs (LCC): the resumed step function recomputes
-        # every seed exactly once; a repair pass here would double the work.
-        if counting:
-            for key in h_scope:
-                counter.on_scope_push(key)
-        return h_scope
-
     # The order <_C is fixed by the *old* run.  Repairs overwrite values
     # and timestamps in `state`, so keep a lazy overlay of pre-repair
     # values/timestamps for order and anchor computations.
-    old_values: Dict[Hashable, Any] = {}
-    old_ts: Dict[Hashable, int] = {}
+    if old_values is None:
+        old_values = {}
+    if old_ts is None:
+        old_ts = {}
     okey_cache: Dict[Hashable, Any] = {}
 
     def old_value_of(key: Hashable) -> Any:
@@ -108,25 +103,19 @@ def initial_scope(
             okey_cache[key] = cached
         return cached
 
-    # Line 2: priority queue ordered by <_C.  Only variables whose input
-    # sets changed in the raising direction of ⪯ can be infeasible; the
-    # remaining seeds are handled by the resumed step function.
-    repair_seeds = {
-        key
-        for key in spec.repair_seed_keys(delta, graph_new, query)
-        if key in state.values and key not in fresh_keys
-    }
+    processed: Set[Hashable] = set(trusted)
     tick = 0
     que: list = []
     queued: Set[Hashable] = set()
-    for key in repair_seeds:
+    for key in seeds:
+        if key in processed:
+            continue
         tick += 1
         heapq.heappush(que, (okey(key), tick, key))
         queued.add(key)
         if counting:
             counter.on_scope_push(key)
 
-    processed: Set[Hashable] = set()
     order = spec.order
 
     while que:
@@ -186,3 +175,56 @@ def initial_scope(
                 counter.on_scope_push(z)
 
     return h_scope
+
+
+def initial_scope(
+    spec: FixpointSpec,
+    graph_new: Graph,
+    query: Any,
+    state: FixpointState,
+    delta: Batch,
+) -> Set[Hashable]:
+    """Run ``h``: repair ``state`` to ``D⁰`` in place and return ``H⁰``.
+
+    ``graph_new`` must already be ``G ⊕ ΔG``; ``state`` must hold the
+    fixpoint of the batch run on ``G``.
+    """
+    counter = state.counter
+    counting = not isinstance(counter, NullCounter)
+
+    # Vertex updates (Section 4): retire variables of deleted nodes,
+    # seed variables of inserted ones at x^⊥.
+    for key in spec.removed_variables(delta, graph_new, query):
+        state.drop(key)
+    fresh_keys = set()
+    for key in spec.new_variables(delta, graph_new, query):
+        if key not in state.values:
+            state.seed(key, spec.initial_value(key, graph_new, query))
+            fresh_keys.add(key)
+
+    # Line 1: variables with evolved input sets.
+    seeds = {
+        key
+        for key in spec.changed_input_keys(delta, graph_new, query)
+        if key in state.values
+    }
+    seeds.update(fresh_keys)
+    h_scope: Set[Hashable] = set(seeds)
+
+    if not spec.repair_with_scope_function:
+        # Dependency-free specs (LCC): the resumed step function recomputes
+        # every seed exactly once; a repair pass here would double the work.
+        if counting:
+            for key in h_scope:
+                counter.on_scope_push(key)
+        return h_scope
+
+    # Line 2: only variables whose input sets changed in the raising
+    # direction of ⪯ can be infeasible; the remaining seeds are handled
+    # by the resumed step function.
+    repair_seeds = {
+        key
+        for key in spec.repair_seed_keys(delta, graph_new, query)
+        if key in state.values and key not in fresh_keys
+    }
+    return repair_pass(spec, graph_new, query, state, repair_seeds, h_scope)

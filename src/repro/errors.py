@@ -95,6 +95,38 @@ class RecoveryError(SessionError):
     """A session checkpoint or WAL cannot be loaded or replayed."""
 
 
+class ShardingError(SessionError):
+    """A sharded-session failure (:mod:`repro.parallel`): a worker died,
+    a command failed on a shard, or an unsupported configuration."""
+
+    def __init__(self, message: str, shard: int = -1) -> None:
+        super().__init__(message)
+        #: Index of the shard involved (-1 = the router itself).
+        self.shard = shard
+
+
+class ShardedDirectoryError(RecoveryError):
+    """A plain-session operation was pointed at a *sharded* session
+    directory (one holding a ``sharding.json`` manifest and per-shard
+    subdirectories).  Recover it with
+    :meth:`repro.parallel.ShardedSession.recover` (the ``repro recover``
+    command auto-detects the manifest)."""
+
+
+class ShardRecoveryError(RecoveryError):
+    """A sharded session directory cannot be reassembled: a shard is
+    missing, a shard failed to recover, or the shards' WAL sequence
+    numbers diverge (a crash mid-scatter lost part of a window on some
+    shards — see docs/serving.md, "Failure semantics per shard")."""
+
+
+class ShardExchangeError(ShardingError):
+    """A cross-shard boundary exchange failed to reach quiescence within
+    its superstep cap.  The router falls back to a full resync (fragment
+    re-evaluation + monotone exchange), which always converges; seeing
+    this error means even the fallback failed."""
+
+
 class ServeError(SessionError):
     """A concurrent query-service failure (:mod:`repro.serve`)."""
 

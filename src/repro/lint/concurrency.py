@@ -96,6 +96,12 @@ DEFAULT_MODEL = ThreadModel(
         "FixpointState",
         "Graph",
         "WriteAheadLog",
+        # The sharded tier's router/worker boundary: the router facade is
+        # writer-owned like the session it substitutes for, and a worker
+        # (with its per-shard session) belongs to exactly one shard
+        # process/transport — no reader entry may reach either.
+        "ShardedSession",
+        "ShardWorker",
     }),
     shared_classes=frozenset({
         "SnapshotStore",
@@ -103,6 +109,9 @@ DEFAULT_MODEL = ThreadModel(
         "DynamicGraphSession",
         "LatencyRecorder",
         "DepthGauge",
+        # Served through QueryService exactly like DynamicGraphSession:
+        # its public reads must hand out copies, never merged internals.
+        "ShardedSession",
     }),
 )
 

@@ -1,0 +1,263 @@
+"""Boundary-delta absorption: the IncEval step of the sharded tier.
+
+In the GRAPE/PIE execution model (Section 6 of the paper), each fragment
+runs the *same* sequential incremental algorithm and supersteps exchange
+changed boundary-vertex values.  An arriving message set ``M`` — the
+authoritative owner values for this fragment's replicas — plays the role
+of an update ``ΔG`` whose "changes" are value reassignments rather than
+edge mutations.  :func:`absorb_values` treats it exactly like the paper
+treats ``ΔG``: compute a feasible status ``D⁰`` plus a scope ``H⁰`` and
+resume the batch step function (IncEval *is* the incremental algorithm).
+
+For a contracting spec (every builtin sharded spec — SSSP, SSWP, CC,
+Reach — has a :class:`~repro.core.orders.PartialOrder`) the two cases
+are:
+
+* ``m ≺ current`` (an **improvement**): adopting ``m`` keeps the status
+  feasible — it only moves the variable *toward* the fixpoint — so we
+  write it and enqueue its dependents for the resumed step function,
+  exactly like the superstep receive of
+  :class:`~repro.parallel.grape.GrapeRunner`.
+* ``current ≺ m`` (a **raise**): the owner retracted support (a deletion
+  on its fragment).  Local variables that anchored on the replica's old
+  value are now infeasible; we *pin* the replica to ``m`` and run the
+  Figure-4 repair queue (:func:`repro.core.scope.repair_pass`) seeded
+  with the replica's anchor dependents, with the pin itself *trusted* so
+  the repair never re-derives the stale local value.
+
+Pinned replicas are absorbed values, not locally-derived ones: the
+resumed fixpoint may lower them again (the engine's contracting guard
+only ever moves values down), in which case the worker reports them back
+as *dirty* and the router re-pins from the merged authoritative state on
+the next exchange round — that loop, not this function, is what
+guarantees global quiescence (see :mod:`repro.parallel.router`).
+
+Raise-repair is *locally* sound but a per-key pin/repair exchange is not
+self-stabilizing across fragments: two fragments can keep re-deriving
+each other's retracted values from stale replicas, a period-2 livelock.
+The router therefore handles raises with a two-phase protocol built on
+:func:`invalidate_values` — transitively reset everything anchored on a
+raised value (no re-derivation, so each key resets at most once and the
+wave provably dies out) — followed by a monotone refinement from the
+resulting feasible stale-high state.  The raise branch here remains for
+single-absorb uses (tests, ad-hoc pinning) where there is no second
+fragment to livelock with.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Hashable, Iterable, Optional
+
+from ..core.engine import run_fixpoint
+from ..core.incremental import IncrementalResult
+from ..core.scope import repair_pass
+from ..core.spec import FixpointSpec
+from ..core.state import FixpointState
+from ..errors import ShardingError
+from ..graph.graph import Graph
+from ..metrics.counters import AccessCounter, NullCounter
+
+
+def absorb_values(
+    spec: FixpointSpec,
+    graph: Graph,
+    state: FixpointState,
+    values: Dict[Hashable, Any],
+    query: Any = None,
+    monotone: bool = False,
+    measure: bool = False,
+    extra_scope: Optional[Iterable[Hashable]] = None,
+) -> IncrementalResult:
+    """Absorb authoritative boundary ``values`` into ``state`` and resume.
+
+    Mutates ``state`` in place to the new local fixpoint (with the
+    absorbed keys held fixed throughout) and returns an
+    :class:`~repro.core.incremental.IncrementalResult` whose ``changes``
+    is ``ΔO`` over the *whole* fragment — callers filter owned vs replica
+    keys themselves.  Keys not present in the fragment are skipped (a
+    stale message for a concurrently-deleted vertex is harmless).
+
+    ``monotone=True`` additionally skips every *raise*: only improvements
+    are absorbed, exactly like a GRAPE superstep receive
+    (:class:`~repro.parallel.grape.GrapeRunner`).  The full-resync path
+    uses this — fragment re-evaluation restarts every shard from a
+    feasible (stale-high) state, so improvement-only exchange provably
+    converges to the global fixpoint and no repair is ever needed.
+
+    ``extra_scope`` adds keys to the resumed fixpoint's scope — the
+    refine step passes the keys :func:`invalidate_values` reset so the
+    step function re-derives them even when no pin touched them.
+    """
+    if spec.order is None:
+        raise ShardingError(
+            f"spec {spec.name!r} has no partial order; boundary absorption "
+            "requires a contracting spec"
+        )
+    result = IncrementalResult(
+        h_counter=AccessCounter() if measure else NullCounter(),
+        engine_counter=AccessCounter() if measure else NullCounter(),
+    )
+    order = spec.order
+    changelog = state.start_changelog()
+    saved_counter = state.counter
+    try:
+        state.counter = result.h_counter
+        scope: set = set()
+        pins = []
+        old_values: Dict[Hashable, Any] = {}
+        old_ts: Dict[Hashable, int] = {}
+
+        for key, value in values.items():
+            if key not in state.values:
+                # A replica created by this very window: seed at x^⊥ so
+                # the pin below has a variable to land on.
+                if not graph.has_node(key):
+                    continue
+                state.seed(key, spec.initial_value(key, graph, query))
+            current = state.values[key]
+            if value == current:
+                continue
+            if order.lt(value, current):
+                # Improvement: feasibility is preserved; propagate like a
+                # superstep receive.
+                state.set(key, value)
+                scope.add(key)
+                pins.append(key)
+                for z in spec.dependents(key, graph, query):
+                    if z in state.values:
+                        scope.add(z)
+            else:
+                if monotone:
+                    continue
+                # Raise: pin, then repair everything anchored on the old
+                # value.  The overlay records the pre-pin value so the
+                # repair order <_C and the anchor tests see the old run.
+                old_values[key] = current
+                old_ts[key] = state.timestamp(key)
+                state.set(key, value)
+                pins.append(key)
+                scope.add(key)
+
+        raised = [key for key in pins if key in old_values]
+        if raised:
+            def old_value_of(key: Hashable) -> Any:
+                return old_values.get(key, state.values.get(key))
+
+            def old_timestamp_of(key: Hashable) -> int:
+                return old_ts[key] if key in old_ts else state.timestamp(key)
+
+            seeds = set()
+            for key in raised:
+                for z in spec.anchor_dependents(
+                    key, old_value_of, old_timestamp_of, graph, query
+                ):
+                    if z in state.values:
+                        seeds.add(z)
+            seeds.difference_update(pins)
+            repair_pass(
+                spec,
+                graph,
+                query,
+                state,
+                seeds,
+                scope,
+                trusted=pins,
+                old_values=old_values,
+                old_ts=old_ts,
+            )
+
+        if extra_scope is not None:
+            for key in extra_scope:
+                if key in state.values:
+                    scope.add(key)
+        result.scope = set(scope)
+        state.counter = result.engine_counter
+        # Pins stay in the scope: the resumed step function re-evaluates
+        # them and may lower a pinned replica from genuine local support
+        # (the contracting guard forbids raising it back).  Such lowering
+        # is reported dirty by the worker and re-judged by the router.
+        if scope:
+            run_fixpoint(spec, graph, query, state=state, scope=scope)
+    finally:
+        state.counter = saved_counter
+        state.stop_changelog()
+
+    for key, old_value in changelog.items():
+        new_value = state.values.get(key)
+        if old_value != new_value:
+            result.changes[key] = (old_value, new_value)
+    return result
+
+
+def invalidate_values(
+    spec: FixpointSpec,
+    graph: Graph,
+    state: FixpointState,
+    keys: Iterable[Hashable],
+    query: Any = None,
+) -> IncrementalResult:
+    """Reset ``keys`` and everything locally anchored on them to ``x^⊥``.
+
+    The first phase of the router's raise protocol: when an owner
+    retracts a value, every variable whose current value is (transitively)
+    anchored on the retracted one is *infeasible until proven otherwise*.
+    This pass resets each such variable to its initial value **without
+    re-deriving anything** — re-derivation is exactly what lets two
+    fragments keep resurrecting each other's stale values.  Each variable
+    is reset at most once, so the wave terminates, and the post-state is
+    feasible (stale-high): the refine step (a monotone
+    :func:`absorb_values` with ``extra_scope`` = the reset keys) then
+    re-derives tight values from surviving support only.
+
+    Returns an :class:`~repro.core.incremental.IncrementalResult` whose
+    ``changes`` records every reset and whose ``scope`` is the reset key
+    set (the worker accumulates it for the refine step).  Keys absent
+    from the fragment are skipped.
+    """
+    result = IncrementalResult(h_counter=NullCounter(), engine_counter=NullCounter())
+    changelog = state.start_changelog()
+    try:
+        old_values: Dict[Hashable, Any] = {}
+        old_ts: Dict[Hashable, int] = {}
+        work: deque = deque()
+        seen = set()
+        for key in keys:
+            if key not in state.values or key in seen:
+                continue
+            seen.add(key)
+            initial = spec.initial_value(key, graph, query)
+            old_values[key] = state.values[key]
+            old_ts[key] = state.timestamp(key)
+            if state.values[key] != initial:
+                state.set(key, initial)
+            work.append(key)
+
+        def old_value_of(key: Hashable) -> Any:
+            return old_values.get(key, state.values.get(key))
+
+        def old_timestamp_of(key: Hashable) -> int:
+            return old_ts[key] if key in old_ts else state.timestamp(key)
+
+        while work:
+            key = work.popleft()
+            for dep in spec.anchor_dependents(
+                key, old_value_of, old_timestamp_of, graph, query
+            ):
+                if dep in seen or dep not in state.values:
+                    continue
+                seen.add(dep)
+                old_values[dep] = state.values[dep]
+                old_ts[dep] = state.timestamp(dep)
+                initial = spec.initial_value(dep, graph, query)
+                if state.values[dep] != initial:
+                    state.set(dep, initial)
+                work.append(dep)
+        result.scope = seen
+    finally:
+        state.stop_changelog()
+    for key, old_value in changelog.items():
+        new_value = state.values.get(key)
+        if old_value != new_value:
+            result.changes[key] = (old_value, new_value)
+    return result

@@ -10,7 +10,9 @@ such a partitioning (hash-based by default) and reports its quality
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Set
 
 from ..errors import GraphError
@@ -70,6 +72,35 @@ def hash_partition(graph: Graph, num_fragments: int, seed: int = 0) -> Partition
     assignment = {
         v: hash((seed, v)) % num_fragments for v in graph.nodes()
     }
+    return build_partitioning(graph, assignment, num_fragments)
+
+
+@lru_cache(maxsize=1 << 16)
+def stable_assign(node: Node, num_fragments: int, seed: int = 0) -> int:
+    """Owner fragment of ``node``, stable across processes and runs.
+
+    Python's builtin ``hash`` is salted per process, so
+    :func:`hash_partition` assignments cannot be recomputed inside a
+    worker process.  The sharded tier (:mod:`repro.parallel.router`)
+    instead derives ownership from this pure function of
+    ``(node, num_fragments, seed)`` — router and every worker agree on
+    it without ever shipping an assignment table.  Memoized: ownership
+    is consulted for every changed key of every exchange round, and the
+    md5 would otherwise dominate gather costs.
+    """
+    if num_fragments < 1:
+        raise GraphError("need at least one fragment")
+    digest = hashlib.md5(f"{seed}\x00{node!r}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % num_fragments
+
+
+def stable_partition(graph: Graph, num_fragments: int, seed: int = 0) -> Partitioning:
+    """Like :func:`hash_partition` but via :func:`stable_assign`, so the
+    assignment is reproducible across processes (the sharded tier's
+    requirement)."""
+    if num_fragments < 1:
+        raise GraphError("need at least one fragment")
+    assignment = {v: stable_assign(v, num_fragments, seed) for v in graph.nodes()}
     return build_partitioning(graph, assignment, num_fragments)
 
 

@@ -1,0 +1,1036 @@
+"""The shard router: a sharded, multi-process drop-in for the session.
+
+:class:`ShardedSession` partitions the graph by
+:func:`~repro.parallel.partition.stable_assign` (edge-cut: every edge
+lives on its endpoints' owner shards, remote endpoints become replicas),
+runs one :class:`~repro.parallel.worker.ShardWorker` per fragment —
+each a full :class:`~repro.session.DynamicGraphSession` with its own
+WAL/checkpoint directory — and presents the *session surface* the
+serving tier consumes (``register`` / ``update`` / ``update_stream`` /
+``answer`` / ``seq`` / ``incidents`` / ``close``), so
+:class:`repro.serve.QueryService` runs unchanged on top of it
+(``repro serve --shards N``).
+
+Execution model (the paper's Section 6, PEval/IncEval):
+
+* **Writes.**  The router validates each window against a persistent
+  scratch overlay (O(|ΔG|), no per-window graph copy), splits every
+  batch by edge ownership — inserting ``VertexInsertion`` preludes so
+  each sub-batch is valid on its fragment in isolation — and scatters
+  one (possibly empty) sub-batch per global batch to *every* shard, so
+  shard WAL sequence numbers advance in lockstep with the global
+  sequence number.  Each worker applies its sub-batches through its own
+  incremental session (PEval already ran at registration; this is the
+  per-fragment ``A_Δ``).
+* **Boundary exchange.**  Workers reply with their *owned* changed
+  values and their *dirty replicas* (replica variables that drifted from
+  the last pinned value).  The router merges owned values into the
+  authoritative per-query assignment, fans changed values to every shard
+  holding a replica, and re-pins drifted replicas; shards absorb the
+  deltas (:meth:`DynamicGraphSession.absorb` — improvements propagate
+  monotonically, raises run the Figure-4 repair pass) and reply with the
+  next wave.  The loop runs until no messages remain — global
+  quiescence, the paper's IncEval superstep loop.  A blown round cap
+  falls back to a **full resync**: every shard re-runs the batch
+  algorithm on its fragment (feasible, stale-high) and a monotone
+  improvement-only exchange — the GRAPE convergence argument — rebuilds
+  the exact global fixpoint.
+* **Reads.**  ``answer()`` extracts from the merged authoritative
+  assignment, which is only updated between fully-quiesced windows — a
+  cross-shard-consistent snapshot tagged by the global sequence number.
+
+Failure semantics: per-shard transactions are forced **off** — a
+rollback on one shard cannot undo the sub-batches its siblings already
+committed, so shard-level atomicity would only feign a guarantee the
+tier cannot keep.  The actual mechanisms are (a) per-shard quarantine +
+router-driven full resync for torn queries, and (b) typed recovery:
+:meth:`ShardedSession.recover` reassembles all shards from their WALs
+and refuses divergent ones with
+:class:`~repro.errors.ShardRecoveryError`.  Boundary absorbs are not
+WAL-logged (they carry no ``ΔG``), so recovery always ends in a full
+resync.  See ``docs/serving.md`` ("Sharded deployment").
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from collections import deque
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Hashable, List, Optional, Set, Union
+
+from ..core.incremental import IncrementalResult
+from ..core.state import FixpointState
+from ..errors import (
+    NodeNotFoundError,
+    ReproError,
+    ShardExchangeError,
+    ShardingError,
+    ShardRecoveryError,
+)
+from ..graph.graph import Graph
+from ..graph.updates import (
+    Batch,
+    EdgeDeletion,
+    EdgeInsertion,
+    VertexDeletion,
+    VertexInsertion,
+    apply_updates,
+)
+from ..resilience import SessionConfig
+from ..resilience.checkpoint import CHECKPOINT_FILE, SHARDING_FILE
+from ..resilience.incidents import IncidentLog
+from ..resilience.validate import session_weight_requirements, validate_batch
+from ..session import ALGORITHM_PAIRS, Listener
+from .partition import stable_assign, stable_partition
+from .worker import ShardWorker, shard_main
+
+#: Algorithms the sharded tier can host: node-keyed contracting specs,
+#: whose boundary deltas the absorb/repair machinery understands.
+SHARDABLE_ALGORITHMS = frozenset({"SSSP", "SSWP", "CC", "Reach"})
+_SOURCE_ALGORITHMS = frozenset({"SSSP", "SSWP", "Reach"})
+
+#: Superstep cap for the incremental exchange; blowing it triggers a
+#: full resync (which provably converges), never a wrong answer.
+MAX_EXCHANGE_ROUNDS = 50
+#: Superstep cap for the monotone (resync / registration) exchange.
+RESYNC_ROUNDS = 500
+
+SHARD_DIR = "shard-{:02d}"
+_MANIFEST_VERSION = 1
+
+
+@dataclass
+class _ShardedQuery:
+    """Router-side record of one registered query (the facade's analogue
+    of :class:`~repro.session.RegisteredQuery` — same duck-typed surface
+    the serving tier reads: ``.algorithm``, ``.query``, ``.listeners``)."""
+
+    name: str
+    algorithm: str
+    query: Any
+    batch: Any  # the BatchAlgorithm, for spec access + answer extraction
+    listeners: List[Listener] = field(default_factory=list)
+
+
+class _InProcessShard:
+    """Transport running the worker inline (tests, recovery, debugging)."""
+
+    def __init__(self, worker: ShardWorker) -> None:
+        self.worker = worker
+        self._responses: deque = deque()
+
+    def send(self, request: Dict[str, Any]) -> None:
+        self._responses.append(self.worker.handle(request))
+
+    def recv(self) -> Dict[str, Any]:
+        return self._responses.popleft()
+
+    def join(self) -> None:  # pragma: no cover - nothing to reap
+        pass
+
+
+class _ProcessShard:
+    """Transport over a child process and a pickle pipe."""
+
+    def __init__(self, index: int, num_shards: int, seed: int, payload: Dict[str, Any]) -> None:
+        self.index = index
+        ctx = multiprocessing.get_context()
+        parent, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=shard_main,
+            args=(child, index, num_shards, seed, payload),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        self.process.start()
+        child.close()
+        self.conn = parent
+
+    def send(self, request: Dict[str, Any]) -> None:
+        try:
+            self.conn.send(request)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardingError(
+                f"shard {self.index} pipe is closed: {exc}", shard=self.index
+            ) from exc
+
+    def recv(self) -> Dict[str, Any]:
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardingError(
+                f"shard {self.index} process died", shard=self.index
+            ) from exc
+
+    def join(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.process.join(timeout=10)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+class ShardedSession:
+    """Session facade over ``N`` shard workers with boundary exchange.
+
+    Parameters
+    ----------
+    graph:
+        The initial reference graph; the router keeps (and owns) it,
+        applying every committed window so splits and answers always see
+        the global state.
+    shards:
+        Number of fragments/workers.  ``shards=1`` is the degenerate
+        case used by equivalence tests; the CLI routes ``--shards 1`` to
+        the plain single-writer path instead.
+    config:
+        Session configuration; ``config.directory`` (when set) becomes
+        the *base* directory — the router writes a ``sharding.json``
+        manifest there and gives shard ``i`` the subdirectory
+        ``shard-00``, ``shard-01``, ... so per-shard WALs and
+        checkpoints never collide.  Worker sessions always run with
+        ``transactional=False`` (see the module docstring).
+    processes:
+        True (default) forks one worker process per shard;
+        False runs workers in-process (deterministic, for tests).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        shards: int,
+        config: Optional[SessionConfig] = None,
+        seed: int = 0,
+        processes: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ShardingError("need at least one shard")
+        self.num_shards = shards
+        self.seed = seed
+        self.graph = graph
+        self.config = config or SessionConfig()
+        self.incidents = IncidentLog(self.config.max_incidents)
+        self._queries: Dict[str, _ShardedQuery] = {}
+        #: Per query, the merged authoritative assignment (owner values).
+        self._values: Dict[str, Dict[Hashable, Any]] = {}
+        self._seq = -1
+        self._batches = 0
+        self._closed = False
+        # Persistent validation overlay: kept ⊕-consistent with `graph`
+        # so window validation is O(|ΔG|), not O(|G|) (re-cloned only on
+        # a failed validation, which leaves it part-applied).
+        self._scratch = graph.copy()
+
+        partitioning = stable_partition(graph, shards, seed)
+        self._present: List[Set[Hashable]] = [set(f.nodes()) for f in partitioning.fragments]
+        self._holders: Dict[Hashable, Set[int]] = {
+            v: set(locs) for v, locs in partitioning.replica_locations.items()
+        }
+
+        base = Path(self.config.directory) if self.config.directory is not None else None
+        if base is not None:
+            base.mkdir(parents=True, exist_ok=True)
+            (base / SHARDING_FILE).write_text(
+                json.dumps(
+                    {"version": _MANIFEST_VERSION, "num_shards": shards, "seed": seed}
+                )
+            )
+        self._shards: List[Any] = []
+        for i, fragment in enumerate(partitioning.fragments):
+            cfg = self._shard_config(base, i)
+            if processes:
+                self._shards.append(
+                    _ProcessShard(i, shards, seed, {"fragment": fragment, "config": cfg})
+                )
+            else:
+                self._shards.append(
+                    _InProcessShard(ShardWorker(i, shards, seed, fragment, cfg))
+                )
+
+    def _shard_config(self, base: Optional[Path], index: int) -> SessionConfig:
+        directory = str(base / SHARD_DIR.format(index)) if base is not None else None
+        # Shard-level transactions cannot provide cross-shard atomicity
+        # (siblings may already have committed); quarantine + full resync
+        # is the tier's repair mechanism, so skip the per-window O(|F|)
+        # snapshot copies outright.
+        return replace(self.config, directory=directory, transactional=False)
+
+    # ------------------------------------------------------------------
+    # Scatter/gather plumbing
+    # ------------------------------------------------------------------
+    def _scatter(self, requests: Dict[int, Dict[str, Any]]) -> Dict[int, Any]:
+        """Send every request, then collect every response (in shard
+        order, so pipes never hold more than one in-flight reply)."""
+        order = sorted(requests)
+        for i in order:
+            self._shards[i].send(requests[i])
+        results: Dict[int, Any] = {}
+        failure = None
+        for i in order:  # drain every pipe even when one shard failed
+            response = self._shards[i].recv()
+            if response.get("ok"):
+                results[i] = response["result"]
+            elif failure is None:
+                failure = (i, response.get("error"))
+        if failure is not None:
+            i, error = failure
+            self.incidents.record(
+                "shard-error", detail=f"shard {i}: {error!r}", seq=self._seq
+            )
+            raise ShardingError(f"shard {i} command failed: {error}", shard=i) from (
+                error if isinstance(error, BaseException) else None
+            )
+        return results
+
+    def _owner(self, node: Hashable) -> int:
+        return stable_assign(node, self.num_shards, self.seed)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        algorithm: str,
+        query: Any = None,
+        listener: Optional[Listener] = None,
+    ) -> _ShardedQuery:
+        """Register a standing query on every shard (the paper's PEval)
+        and exchange boundary values to global quiescence (IncEval)."""
+        if name in self._queries:
+            raise ReproError(f"query {name!r} is already registered")
+        if algorithm not in ALGORITHM_PAIRS:
+            raise ReproError(
+                f"unknown algorithm {algorithm!r}; available: {', '.join(ALGORITHM_PAIRS)}"
+            )
+        if algorithm not in SHARDABLE_ALGORITHMS:
+            raise ShardingError(
+                f"algorithm {algorithm!r} cannot be sharded; shardable algorithms: "
+                f"{', '.join(sorted(SHARDABLE_ALGORITHMS))}"
+            )
+        if algorithm in _SOURCE_ALGORITHMS and query is not None:
+            if not self.graph.has_node(query):
+                raise NodeNotFoundError(query)
+            # Fragments not containing the source could not even seed the
+            # spec; materialize it everywhere as an (isolated) replica.
+            self._align_source(query)
+
+        batch_factory, _ = ALGORITHM_PAIRS[algorithm]
+        gathers = self._scatter(
+            {
+                i: {"cmd": "register", "name": name, "algorithm": algorithm, "query": query}
+                for i in range(self.num_shards)
+            }
+        )
+        merged: Dict[Hashable, Any] = {}
+        for gather in gathers.values():
+            merged.update(gather["owned"])
+        registered = _ShardedQuery(
+            name=name, algorithm=algorithm, query=query, batch=batch_factory()
+        )
+        if listener is not None:
+            registered.listeners.append(listener)
+        self._queries[name] = registered
+        self._values[name] = merged
+
+        # IncEval to quiescence from the per-fragment PEval fixpoints:
+        # every fragment-local value is feasible (stale-high), so the
+        # exchange is improvement-only — the GRAPE convergence argument.
+        pending = self._pin_all_replicas([name])
+        changes: Dict[str, Dict] = {name: {}}
+        if not self._exchange(pending, changes, set(), cap=RESYNC_ROUNDS):
+            raise ShardExchangeError(
+                f"registration of {name!r} did not quiesce within {RESYNC_ROUNDS} supersteps"
+            )
+        return registered
+
+    def unregister(self, name: str) -> None:
+        if name not in self._queries:
+            raise ReproError(f"query {name!r} is not registered")
+        self._scatter({i: {"cmd": "unregister", "name": name} for i in range(self.num_shards)})
+        del self._queries[name]
+        del self._values[name]
+
+    def subscribe(self, name: str, listener: Listener) -> None:
+        self._query(name).listeners.append(listener)
+
+    def queries(self) -> List[str]:
+        return list(self._queries)
+
+    def _query(self, name: str) -> _ShardedQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise ReproError(f"query {name!r} is not registered") from None
+
+    def _align_source(self, source: Hashable) -> None:
+        """Materialize ``source`` as a replica on every shard lacking it,
+        through a (seq-consuming) global window so shard WALs stay in
+        lockstep."""
+        missing = [i for i in range(self.num_shards) if source not in self._present[i]]
+        if not missing:
+            return
+        label = self.graph.node_label(source)
+        insert = Batch([VertexInsertion(source, label)])
+        empty = Batch([])
+        requests = {
+            i: {"cmd": "apply", "batches": [insert if i in missing else empty]}
+            for i in range(self.num_shards)
+        }
+        for i in missing:
+            self._present[i].add(source)
+            self._holders.setdefault(source, set()).add(i)
+        gathers = self._scatter(requests)
+        self._seq += 1
+        self._batches += 1
+        changes = {qname: {} for qname in self._queries}
+        pending = [dict() for _ in range(self.num_shards)]
+        resync: Set[str] = set()
+        self._integrate_gathers(gathers, pending, changes, resync)
+        for i in missing:  # pin the fresh replica for existing queries
+            for qname, merged in self._values.items():
+                if source in merged:
+                    pending[i].setdefault(qname, {})[source] = merged[source]
+        if not self._exchange(pending, changes, resync, cap=MAX_EXCHANGE_ROUNDS):
+            resync.update(self._queries)
+        self._full_resync(sorted(resync), changes)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, delta) -> Dict[str, IncrementalResult]:
+        """Apply one ``ΔG`` globally; returns ``{query: ΔO}`` over the
+        merged assignments and notifies listeners (session semantics)."""
+        if not isinstance(delta, Batch):
+            delta = Batch(list(delta))
+        results = self._apply_window([delta])
+        self._notify(results)
+        return results
+
+    def update_stream(self, stream, notify: bool = False) -> Dict[str, IncrementalResult]:
+        """Apply a whole update stream as one window (session semantics:
+        validated up front, one seq per batch, listeners once at the end
+        when ``notify`` is set)."""
+        stream = [item if isinstance(item, Batch) else Batch([item]) for item in stream]
+        if not stream:
+            return {}
+        results = self._apply_window(stream)
+        if notify:
+            self._notify(results)
+        return results
+
+    def _apply_window(self, stream: List[Batch]) -> Dict[str, IncrementalResult]:
+        if self._closed:
+            raise ShardingError("sharded session is closed")
+        self._validate_stream(stream)
+
+        per_shard: List[List[Batch]] = [[] for _ in range(self.num_shards)]
+        new_replicas: List = []
+        new_owned: List[Hashable] = []
+        for batch in stream:
+            subs = self._split_batch(batch, new_replicas, new_owned)
+            for i in range(self.num_shards):
+                per_shard[i].append(subs[i])
+            apply_updates(self.graph, batch)
+
+        gathers = self._scatter(
+            {i: {"cmd": "apply", "batches": per_shard[i]} for i in range(self.num_shards)}
+        )
+        self._seq += len(stream)
+        self._batches += len(stream)
+        for i, gather in gathers.items():
+            if gather["seq"] != self._seq:
+                raise ShardingError(
+                    f"shard {i} is at seq {gather['seq']} but the global seq is "
+                    f"{self._seq}: the shards have diverged",
+                    shard=i,
+                )
+
+        changes: Dict[str, Dict] = {qname: {} for qname in self._queries}
+        pending = [dict() for _ in range(self.num_shards)]
+        invalidations = [dict() for _ in range(self.num_shards)]
+        resync: Set[str] = set()
+        self._integrate_gathers(gathers, pending, changes, resync, invalidations)
+        for shard, node in new_replicas:
+            # A replica materialized this window starts at x^⊥ locally;
+            # pin it to the authoritative value outright.
+            for qname, merged in self._values.items():
+                if node in merged:
+                    pending[shard].setdefault(qname, {})[node] = merged[node]
+        if any(invalidations):
+            quiesced = self._raise_protocol(invalidations, pending, changes, resync)
+        else:
+            quiesced = self._exchange(pending, changes, resync, cap=MAX_EXCHANGE_ROUNDS)
+        if not quiesced:
+            resync.update(self._queries)
+        self._full_resync(sorted(resync), changes)
+
+        # A fresh variable that never left its initial value emits no
+        # change record, so no shard ever reported it — backfill owned
+        # newcomers at x^⊥ to keep the merged assignment total.
+        for node in new_owned:
+            if not self.graph.has_node(node):
+                continue  # inserted then deleted within the window
+            for qname, registered in self._queries.items():
+                merged = self._values[qname]
+                if node in merged:
+                    continue
+                value = registered.batch.spec.initial_value(
+                    node, self.graph, registered.query
+                )
+                merged[node] = value
+                self._record(changes[qname], node, None, value)
+
+        return {
+            qname: IncrementalResult(
+                changes={k: (o, n) for k, (o, n) in ch.items() if o != n}
+            )
+            for qname, ch in changes.items()
+        }
+
+    def _validate_stream(self, stream: List[Batch]) -> None:
+        policy = self.config.weight_policy
+        forbid = policy == "spec" and session_weight_requirements(
+            q.algorithm for q in self._queries.values()
+        )
+        try:
+            for batch in stream:
+                validate_batch(self._scratch, batch, weight_policy=policy, forbid_negative=forbid)
+                apply_updates(self._scratch, batch)
+        except ReproError as exc:
+            self.incidents.record("validation-error", detail=str(exc), error=exc)
+            # The scratch overlay is part-applied; rebuild it from the
+            # (untouched) reference graph.
+            self._scratch = self.graph.copy()
+            raise
+
+    def _split_batch(
+        self, batch: Batch, new_replicas: List, new_owned: List[Hashable]
+    ) -> List[Batch]:
+        """Split one validated batch into per-shard sub-batches, adding
+        ``VertexInsertion`` preludes so each sub-batch is valid on its
+        fragment alone.  Updates presence/holder bookkeeping in place."""
+        subs: List[List] = [[] for _ in range(self.num_shards)]
+        batch_labels: Dict[Hashable, Any] = {}
+
+        def node_label(node: Hashable) -> Any:
+            if node in batch_labels:
+                return batch_labels[node]
+            return self.graph.node_label(node) if self.graph.has_node(node) else None
+
+        def ensure_present(shard: int, node: Hashable) -> None:
+            if node in self._present[shard]:
+                return
+            subs[shard].append(VertexInsertion(node, node_label(node)))
+            self._present[shard].add(node)
+            if self._owner(node) != shard:
+                self._holders.setdefault(node, set()).add(shard)
+                new_replicas.append((shard, node))
+            else:
+                new_owned.append(node)
+
+        def route_edge(op: EdgeInsertion) -> None:
+            for shard in {self._owner(op.u), self._owner(op.v)}:
+                ensure_present(shard, op.u)
+                ensure_present(shard, op.v)
+                subs[shard].append(op)
+
+        for op in batch:
+            if isinstance(op, EdgeInsertion):
+                route_edge(op)
+            elif isinstance(op, EdgeDeletion):
+                # The edge lives exactly on its endpoints' owner shards.
+                for shard in {self._owner(op.u), self._owner(op.v)}:
+                    subs[shard].append(op)
+            elif isinstance(op, VertexInsertion):
+                batch_labels[op.v] = op.label
+                owner = self._owner(op.v)
+                if op.v not in self._present[owner]:
+                    subs[owner].append(VertexInsertion(op.v, op.label))
+                    self._present[owner].add(op.v)
+                    new_owned.append(op.v)
+                for edge in op.edges:  # carried edges route independently
+                    route_edge(edge)
+            elif isinstance(op, VertexDeletion):
+                for shard in range(self.num_shards):
+                    if op.v in self._present[shard]:
+                        subs[shard].append(op)
+                        self._present[shard].discard(op.v)
+                self._holders.pop(op.v, None)
+            else:  # pragma: no cover - exhaustive over the update model
+                raise ShardingError(f"unroutable update {op!r}")
+        return [Batch(ops) for ops in subs]
+
+    # ------------------------------------------------------------------
+    # Boundary exchange
+    # ------------------------------------------------------------------
+    def _integrate_gathers(
+        self,
+        gathers: Dict[int, Any],
+        pending: List[Dict],
+        changes: Dict[str, Dict],
+        resync: Set[str],
+        invalidations: Optional[List[Dict]] = None,
+    ) -> None:
+        for shard, gather in gathers.items():
+            for qname, delta in gather["queries"].items():
+                if qname not in self._values:
+                    continue
+                if delta.get("quarantined") and qname not in resync:
+                    resync.add(qname)
+                    self.incidents.record(
+                        "shard-quarantine",
+                        query=qname,
+                        detail=f"shard {shard} quarantined the query; scheduling a full resync",
+                        seq=self._seq,
+                    )
+                self._integrate(
+                    qname,
+                    shard,
+                    delta["owned"],
+                    delta["dirty"],
+                    pending,
+                    changes.get(qname),
+                    invalidations,
+                )
+                if invalidations is not None and delta.get("suspect"):
+                    # Everything the shard's local repair touched during a
+                    # raising window may have silently re-derived a stale
+                    # value from a replica (fragment-local clocks cannot
+                    # contradict a cross-fragment stale-support cycle).
+                    # Reset each suspect on *every* shard holding it — the
+                    # owner included — and let refine re-derive from
+                    # surviving support only.
+                    for key in delta["suspect"]:
+                        targets = set(self._holders.get(key, ()))
+                        targets.add(self._owner(key))
+                        for target in targets:
+                            invalidations[target].setdefault(qname, set()).add(key)
+
+    def _integrate(
+        self,
+        qname: str,
+        shard: int,
+        owned: Dict[Hashable, Any],
+        dirty: Dict[Hashable, Any],
+        pending: List[Dict],
+        changes: Optional[Dict],
+        invalidations: Optional[List[Dict]] = None,
+    ) -> None:
+        """Fold one shard's reply into the merged assignment.
+
+        Owned changes become authoritative: improvements fan to replica
+        holders as monotone pins; raises fan into ``invalidations`` (the
+        two-phase raise protocol) when given.  Dirty replicas re-pin to
+        the authoritative value only when it is *better* than the
+        replica's local one — a replica that locally knows better than
+        the owner is never pinned upward (the owner's own support is in
+        flight through its replicas of the same fragment).
+        """
+        merged = self._values[qname]
+        order = None
+        for key, value in owned.items():
+            if value is None:  # variable retired (vertex deletion)
+                if key in merged:
+                    self._record(changes, key, merged.pop(key), None)
+                continue
+            if key in merged:
+                old = merged[key]
+                if old == value:
+                    continue
+            else:
+                old = None
+            self._record(changes, key, old, value)
+            merged[key] = value
+            if invalidations is not None and old is not None:
+                if order is None:
+                    order = self._queries[qname].batch.spec.order
+                if order.lt(old, value):  # owner retracted support
+                    for holder in self._holders.get(key, ()):
+                        if holder != shard:
+                            invalidations[holder].setdefault(qname, set()).add(key)
+                    continue
+            for holder in self._holders.get(key, ()):
+                if holder != shard:
+                    pending[holder].setdefault(qname, {})[key] = value
+        if dirty:
+            if order is None:
+                order = self._queries[qname].batch.spec.order
+            for key, value in dirty.items():
+                target = merged.get(key)
+                if target is None or target == value:
+                    continue
+                if not order.lt(target, value):
+                    continue
+                pending[shard].setdefault(qname, {})[key] = target
+
+    @staticmethod
+    def _record(changes: Optional[Dict], key: Hashable, old: Any, new: Any) -> None:
+        if changes is None:
+            return
+        if key in changes:
+            changes[key] = (changes[key][0], new)
+        else:
+            changes[key] = (old, new)
+
+    def _exchange(
+        self,
+        pending: List[Dict],
+        changes: Dict[str, Dict],
+        resync: Set[str],
+        cap: int,
+    ) -> bool:
+        """Run monotone absorb supersteps until no boundary deltas remain.
+
+        Returns False when ``cap`` rounds pass without quiescence (the
+        caller falls back to a full resync)."""
+        rounds = 0
+        while True:
+            requests = {
+                i: {"cmd": "absorb", "assignments": assignments, "monotone": True}
+                for i, assignments in enumerate(pending)
+                if assignments
+            }
+            if not requests:
+                return True
+            rounds += 1
+            if rounds > cap:
+                self.incidents.record(
+                    "exchange-cap",
+                    detail=f"boundary exchange still busy after {cap} supersteps",
+                    seq=self._seq,
+                )
+                return False
+            gathers = self._scatter(requests)
+            pending = [dict() for _ in range(self.num_shards)]
+            for shard, gather in gathers.items():
+                for qname, delta in gather["queries"].items():
+                    if qname not in self._values:
+                        continue
+                    if delta.get("quarantined"):
+                        resync.add(qname)
+                    self._integrate(
+                        qname,
+                        shard,
+                        delta["owned"],
+                        delta["dirty"],
+                        pending,
+                        changes.get(qname),
+                    )
+
+    def _raise_protocol(
+        self,
+        invalidations: List[Dict],
+        pending: List[Dict],
+        changes: Dict[str, Dict],
+        resync: Set[str],
+    ) -> bool:
+        """Invalidate-then-refine: the terminating raise exchange.
+
+        Per-key pin/repair is not self-stabilizing across fragments — two
+        shards can keep re-deriving each other's retracted values from
+        stale replicas (a period-2 livelock).  Instead: **phase 1** fans
+        every raised key to its replica holders, which transitively reset
+        all locally-anchored values to ``x^⊥`` *without re-deriving
+        anything*; newly reset owned keys fan out in turn.  Each
+        (shard, key) resets at most once, so the wave provably dies out.
+        **Phase 2** re-pins every reset replica to the merged value and
+        has each shard re-derive its reset keys from surviving support
+        only — all values are now feasible (stale-high), so the monotone
+        exchange converges exactly like PEval/IncEval.
+        """
+        sent: Set = set()
+        repin: List = []
+        rounds = 0
+        while any(invalidations):
+            rounds += 1
+            if rounds > MAX_EXCHANGE_ROUNDS:  # pragma: no cover - bounded by design
+                self.incidents.record(
+                    "invalidation-cap",
+                    detail=f"invalidation wave still busy after {MAX_EXCHANGE_ROUNDS} supersteps",
+                    seq=self._seq,
+                )
+                return False
+            requests = {}
+            for i, assignments in enumerate(invalidations):
+                payload = {}
+                for qname, keys in assignments.items():
+                    fresh = [k for k in keys if (i, qname, k) not in sent]
+                    if fresh:
+                        sent.update((i, qname, k) for k in fresh)
+                        payload[qname] = fresh
+                if payload:
+                    requests[i] = {"cmd": "invalidate", "assignments": payload}
+            if not requests:
+                break
+            gathers = self._scatter(requests)
+            invalidations = [dict() for _ in range(self.num_shards)]
+            for shard, gather in gathers.items():
+                for qname, delta in gather["queries"].items():
+                    if qname not in self._values:
+                        continue
+                    if delta.get("quarantined"):
+                        resync.add(qname)
+                    merged = self._values[qname]
+                    for key, value in delta["owned"].items():
+                        # An owned key transitively reset to x^⊥.
+                        if key in merged and merged[key] != value:
+                            self._record(changes.get(qname), key, merged[key], value)
+                            merged[key] = value
+                        for holder in self._holders.get(key, ()):
+                            if holder != shard:
+                                invalidations[holder].setdefault(qname, set()).add(key)
+                    for key in delta["dirty"]:
+                        repin.append((shard, qname, key))
+        for shard, qname, key in repin:
+            merged = self._values[qname]
+            if key in merged:
+                pending[shard].setdefault(qname, {})[key] = merged[key]
+        # Pins queued before (or during) the wave captured pre-invalidation
+        # values; re-read every pin from the merged assignment so refine
+        # never resurrects a value the wave just reset.
+        for assignments in pending:
+            for qname, pins in assignments.items():
+                merged = self._values[qname]
+                for key in list(pins):
+                    if key in merged:
+                        pins[key] = merged[key]
+                    else:
+                        del pins[key]
+        gathers = self._scatter(
+            {i: {"cmd": "refine", "assignments": pending[i]} for i in range(self.num_shards)}
+        )
+        pending = [dict() for _ in range(self.num_shards)]
+        self._integrate_gathers(gathers, pending, changes, resync)
+        return self._exchange(pending, changes, resync, cap=MAX_EXCHANGE_ROUNDS)
+
+    def _pin_all_replicas(self, names: List[str]) -> List[Dict]:
+        pending: List[Dict] = [dict() for _ in range(self.num_shards)]
+        for shard in range(self.num_shards):
+            for node in self._present[shard]:
+                if self._owner(node) == shard:
+                    continue
+                for qname in names:
+                    value = self._values[qname].get(node)
+                    if value is not None:
+                        pending[shard].setdefault(qname, {})[node] = value
+        return pending
+
+    def _full_resync(self, names: List[str], changes: Dict[str, Dict]) -> None:
+        """Rebuild the named queries from per-fragment re-evaluation plus
+        a monotone exchange — the guaranteed-convergent fallback."""
+        names = [qname for qname in names if qname in self._values]
+        if not names:
+            return
+        self.incidents.record(
+            "full-resync",
+            detail=f"re-evaluating {', '.join(names)} per fragment",
+            seq=self._seq,
+        )
+        gathers = self._scatter(
+            {i: {"cmd": "peval", "names": names} for i in range(self.num_shards)}
+        )
+        for qname in names:
+            old = self._values[qname]
+            fresh: Dict[Hashable, Any] = {}
+            for gather in gathers.values():
+                fresh.update(gather[qname])
+            ch = changes.get(qname)
+            for key in old.keys() - fresh.keys():
+                self._record(ch, key, old[key], None)
+            for key, value in fresh.items():
+                previous = old.get(key)
+                if key not in old or previous != value:
+                    self._record(ch, key, previous if key in old else None, value)
+            self._values[qname] = fresh
+        pending = self._pin_all_replicas(names)
+        if not self._exchange(pending, changes, set(), cap=RESYNC_ROUNDS):
+            raise ShardExchangeError(
+                f"full resync of {', '.join(names)} did not quiesce within "
+                f"{RESYNC_ROUNDS} supersteps"
+            )
+
+    def _notify(self, results: Dict[str, IncrementalResult]) -> None:
+        for registered in self._queries.values():
+            result = results.get(registered.name)
+            for listener in registered.listeners:
+                try:
+                    listener(registered.name, result)
+                except Exception as exc:
+                    self.incidents.record(
+                        "listener-error",
+                        query=registered.name,
+                        detail=f"listener {getattr(listener, '__name__', listener)!r} raised",
+                        error=exc,
+                        seq=self._seq,
+                    )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def answer(self, name: str) -> Any:
+        """The query's current global answer, extracted from the merged
+        authoritative assignment (identical to the single-session answer
+        by the differential-equivalence gate)."""
+        registered = self._query(name)
+        snapshot = FixpointState()
+        snapshot.values = dict(self._values[name])
+        return registered.batch.answer(snapshot, self.graph, registered.query)
+
+    @property
+    def seq(self) -> int:
+        """Global sequence number — every shard's WAL seq equals it."""
+        return self._seq
+
+    @property
+    def batches_applied(self) -> int:
+        return self._batches
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every worker (checkpointing the durable ones) and reap
+        the shard processes."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._scatter({i: {"cmd": "close"} for i in range(self.num_shards)})
+        finally:
+            for shard in self._shards:
+                shard.join()
+
+    @classmethod
+    def recover(
+        cls,
+        directory: Union[str, Path],
+        config: Optional[SessionConfig] = None,
+        processes: bool = False,
+    ) -> "ShardedSession":
+        """Reassemble a sharded session from its base directory.
+
+        Every shard recovers its own session (checkpoint + WAL tail);
+        the router then verifies the shards agree on their sequence
+        number and registered queries, reassembles the reference graph
+        from the fragments, and rebuilds the merged assignments by a
+        full resync (boundary absorbs are not WAL-logged, so the
+        replayed per-shard states may hold stale boundary values).
+        Missing shards, failed shard recoveries, and divergent sequence
+        numbers raise :class:`~repro.errors.ShardRecoveryError`.
+        """
+        base = Path(directory)
+        manifest_path = base / SHARDING_FILE
+        if not manifest_path.exists():
+            raise ShardRecoveryError(
+                f"{base} holds no {SHARDING_FILE} manifest; recover plain session "
+                "directories with DynamicGraphSession.recover"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            shards = int(manifest["num_shards"])
+            seed = int(manifest["seed"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ShardRecoveryError(f"corrupt manifest {manifest_path}: {exc}") from exc
+        if config is None:
+            config = SessionConfig(directory=base)
+        elif config.directory is None:
+            config = replace(config, directory=base)
+
+        session = cls.__new__(cls)
+        session.num_shards = shards
+        session.seed = seed
+        session.config = config
+        session.incidents = IncidentLog(config.max_incidents)
+        session._queries = {}
+        session._values = {}
+        session._closed = False
+        session._shards = []
+        for i in range(shards):
+            shard_dir = base / SHARD_DIR.format(i)
+            if not (shard_dir / CHECKPOINT_FILE).exists():
+                raise ShardRecoveryError(
+                    f"shard {i} cannot be reassembled: no checkpoint in {shard_dir}"
+                )
+            cfg = replace(config, directory=str(shard_dir), transactional=False)
+            try:
+                if processes:
+                    session._shards.append(
+                        _ProcessShard(i, shards, seed, {"directory": shard_dir, "config": cfg})
+                    )
+                else:
+                    session._shards.append(
+                        _InProcessShard(ShardWorker.recover(i, shards, seed, shard_dir, cfg))
+                    )
+            except ReproError as exc:
+                raise ShardRecoveryError(f"shard {i} failed to recover: {exc}") from exc
+
+        try:
+            infos = session._scatter({i: {"cmd": "info"} for i in range(shards)})
+        except ShardingError as exc:
+            raise ShardRecoveryError(f"shard handshake failed: {exc}") from exc
+        seqs = {i: info["seq"] for i, info in infos.items()}
+        if len(set(seqs.values())) > 1:
+            raise ShardRecoveryError(
+                f"shard WAL sequence numbers diverge ({seqs}): a crash mid-scatter "
+                "lost part of a window on some shards"
+            )
+        reference = infos[0]["queries"]
+        for i, info in infos.items():
+            if info["queries"] != reference:
+                raise ShardRecoveryError(
+                    f"shard {i} registers {sorted(info['queries'])} but shard 0 "
+                    f"registers {sorted(reference)}"
+                )
+        session._seq = seqs[0]
+        session._batches = infos[0]["batches_applied"]
+
+        fragments = session._scatter({i: {"cmd": "export_fragment"} for i in range(shards)})
+        graph = Graph(directed=fragments[0].directed)
+        for i in range(shards):
+            for node in fragments[i].nodes():
+                if stable_assign(node, shards, seed) == i:
+                    graph.ensure_node(node, label=fragments[i].node_label(node))
+        for i in range(shards):
+            for u, v in fragments[i].edges():
+                if not graph.has_edge(u, v):
+                    graph.add_edge(
+                        u,
+                        v,
+                        weight=fragments[i].weight(u, v),
+                        label=fragments[i].edge_label(u, v),
+                    )
+        session.graph = graph
+        session._scratch = graph.copy()
+        session._present = [set(fragments[i].nodes()) for i in range(shards)]
+        holders: Dict[Hashable, Set[int]] = {}
+        for i in range(shards):
+            for node in fragments[i].nodes():
+                if stable_assign(node, shards, seed) != i:
+                    holders.setdefault(node, set()).add(i)
+        session._holders = holders
+
+        for qname, qinfo in reference.items():
+            batch_factory, _ = ALGORITHM_PAIRS[qinfo["algorithm"]]
+            session._queries[qname] = _ShardedQuery(
+                name=qname,
+                algorithm=qinfo["algorithm"],
+                query=qinfo["query"],
+                batch=batch_factory(),
+            )
+            session._values[qname] = {}
+        if session._queries:
+            changes = {qname: {} for qname in session._queries}
+            session._full_resync(sorted(session._queries), changes)
+        return session
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSession(shards={self.num_shards}, |V|={self.graph.num_nodes}, "
+            f"queries={list(self._queries)}, seq={self._seq})"
+        )

@@ -1,0 +1,263 @@
+"""The shard worker: one fragment, one session, one command loop.
+
+A :class:`ShardWorker` wraps a full
+:class:`~repro.session.DynamicGraphSession` over its fragment — WAL,
+checkpoints, transactions, quarantine and all of the PR-4 resilience
+machinery apply *per shard* — and answers the small command vocabulary
+the router (:mod:`repro.parallel.router`) speaks:
+
+========================  ============================================
+``register``              register a query; reply with owned values
+``apply``                 apply a window of sub-batches (one per global
+                          batch, possibly empty, so every shard's WAL
+                          seq advances in lockstep with the global seq)
+``absorb``                fold authoritative boundary values in
+                          (:meth:`DynamicGraphSession.absorb`)
+``invalidate``            transitively reset values anchored on raised
+                          keys (phase 1 of the raise protocol)
+``refine``                monotone absorb + re-derivation of every key
+                          reset since the last refine (phase 2)
+``export_owned``          owned slice of a query's fixpoint values
+``export_fragment``       the fragment graph (recovery reassembly)
+``peval``                 re-run the batch algorithm on the fragment
+                          (the full-resync / recovery restart)
+``unregister`` ``close``  bookkeeping
+``info``                  seq + registered queries (recovery handshake)
+========================  ============================================
+
+``apply`` and ``absorb`` replies carry, per query, the *owned* changed
+values (fanned by the router to replica holders) and the *dirty
+replicas* — replica variables whose local value diverged from what the
+router last pinned.  Ownership is re-derived inside the worker from
+:func:`~repro.parallel.partition.stable_assign`, a pure function of
+``(node, num_shards, seed)``, so router and workers always agree without
+shipping assignment tables.
+
+The worker runs either in-process (tests, recovery, ``shards=1``
+plumbing checks) or as a child process speaking pickled request/response
+dicts over a :mod:`multiprocessing` pipe (:func:`shard_main`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Hashable, List, Optional
+
+from ..errors import ReproError
+from ..graph.graph import Graph
+from ..graph.updates import Batch, EdgeDeletion, VertexDeletion
+from ..resilience import SessionConfig
+from ..session import DynamicGraphSession
+from .partition import stable_assign
+
+
+class ShardWorker:
+    """Command executor for one shard (usable in- or out-of-process)."""
+
+    def __init__(
+        self,
+        index: int,
+        num_shards: int,
+        seed: int,
+        fragment: Graph,
+        config: Optional[SessionConfig] = None,
+    ) -> None:
+        self.index = index
+        self.num_shards = num_shards
+        self.seed = seed
+        self.session = DynamicGraphSession(fragment, config)
+        #: Per-query keys reset by ``invalidate`` since the last refine —
+        #: the refine step's extra fixpoint scope.
+        self._scopes: Dict[str, set] = {}
+
+    @classmethod
+    def recover(
+        cls,
+        index: int,
+        num_shards: int,
+        seed: int,
+        directory: Path,
+        config: Optional[SessionConfig] = None,
+    ) -> "ShardWorker":
+        """Rebuild a shard worker from its durable per-shard directory."""
+        worker = cls.__new__(cls)
+        worker.index = index
+        worker.num_shards = num_shards
+        worker.seed = seed
+        worker.session = DynamicGraphSession.recover(directory, config)
+        worker._scopes = {}
+        return worker
+
+    # ------------------------------------------------------------------
+    def owns(self, key: Hashable) -> bool:
+        return stable_assign(key, self.num_shards, self.seed) == self.index
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one command; never raises (errors travel in-band)."""
+        try:
+            handler = getattr(self, f"_cmd_{request['cmd']}")
+        except (KeyError, AttributeError):
+            return {"ok": False, "error": ReproError(f"unknown shard command {request!r}")}
+        try:
+            return {"ok": True, "result": handler(request)}
+        except BaseException as exc:  # includes InjectedFault crash drills
+            return {"ok": False, "error": exc}
+
+    # ------------------------------------------------------------------
+    def _gather(self, results: Dict[str, Any], suspects: bool = False) -> Dict[str, Any]:
+        """Split each query's ΔO into owned changes and dirty replicas.
+
+        ``suspects=True`` (raising windows: the sub-batches contained
+        deletions) additionally reports each query's repair scope — every
+        variable the local repair *touched*, even when its value
+        round-tripped.  A repaired value re-derived from a replica may be
+        silently stale (the replica's owner is retracting it in another
+        fragment right now, and fragment-local clocks cannot contradict
+        it), so the router treats the whole scope as suspect and runs the
+        invalidate/refine protocol over it.
+        """
+        queries: Dict[str, Any] = {}
+        session = self.session
+        for name, result in results.items():
+            owned: Dict[Hashable, Any] = {}
+            dirty: Dict[Hashable, Any] = {}
+            changes = getattr(result, "changes", {})
+            for key, (_, new_value) in changes.items():
+                if self.owns(key):
+                    owned[key] = new_value  # None = variable retired
+                elif new_value is not None:
+                    dirty[key] = new_value
+            registered = session._queries.get(name)
+            queries[name] = {
+                "owned": owned,
+                "dirty": dirty,
+                "quarantined": bool(registered is not None and registered.quarantined),
+            }
+            if suspects:
+                queries[name]["suspect"] = list(getattr(result, "scope", ()))
+        return {"seq": session.seq, "queries": queries}
+
+    def _owned_values(self, name: str) -> Dict[Hashable, Any]:
+        registered = self.session._query(name)
+        return {
+            key: value
+            for key, value in registered.state.values.items()
+            if self.owns(key)
+        }
+
+    # ------------------------------------------------------------------
+    def _cmd_register(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.session.register(request["name"], request["algorithm"], query=request["query"])
+        return {"seq": self.session.seq, "owned": self._owned_values(request["name"])}
+
+    def _cmd_unregister(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.session.unregister(request["name"])
+        return {"seq": self.session.seq}
+
+    def _cmd_apply(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        batches: List[Batch] = request["batches"]
+        raising = any(
+            isinstance(op, (EdgeDeletion, VertexDeletion))
+            for batch in batches
+            for op in batch
+        )
+        results = self.session.update_stream(batches)
+        return self._gather(results, suspects=raising)
+
+    def _cmd_absorb(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        results = self.session.absorb(
+            request["assignments"], monotone=request.get("monotone", False)
+        )
+        return self._gather(results)
+
+    def _cmd_invalidate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Phase 1 of the raise protocol: transitive reset, no re-derive."""
+        results = self.session.invalidate(request["assignments"])
+        for name, result in results.items():
+            self._scopes.setdefault(name, set()).update(result.scope)
+        return self._gather(results)
+
+    def _cmd_refine(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Phase 2: monotone absorb + re-derivation of every reset key."""
+        scopes, self._scopes = self._scopes, {}
+        results = self.session.absorb(
+            request["assignments"], monotone=True, scopes=scopes
+        )
+        return self._gather(results)
+
+    def _cmd_export_owned(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {name: self._owned_values(name) for name in request["names"]}
+
+    def _cmd_export_fragment(self, request: Dict[str, Any]) -> Graph:
+        return self.session.graph
+
+    def _cmd_peval(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Re-run the batch algorithm on the fragment (full resync)."""
+        session = self.session
+        exported: Dict[str, Dict[Hashable, Any]] = {}
+        for name in request["names"]:
+            registered = session._query(name)
+            session._recompute(registered, None, session.seq)
+            registered.quarantined = False
+            registered.faults = 0
+            self._scopes.pop(name, None)
+            exported[name] = self._owned_values(name)
+        return exported
+
+    def _cmd_info(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        session = self.session
+        return {
+            "index": self.index,
+            "seq": session.seq,
+            "batches_applied": session.batches_applied,
+            "queries": {
+                name: {"algorithm": registered.algorithm, "query": registered.query}
+                for name, registered in session._queries.items()
+            },
+        }
+
+    def _cmd_close(self, request: Dict[str, Any]) -> None:
+        self.session.close()
+
+
+def shard_main(conn, index: int, num_shards: int, seed: int, payload: Dict[str, Any]) -> None:
+    """Child-process entry: build (or recover) the worker, serve the pipe.
+
+    ``payload`` carries either ``fragment`` + ``config`` (fresh start) or
+    ``directory`` + ``config`` (recovery).  A failure during construction
+    is reported as the response to the *first* request rather than a
+    silent death, so the router raises a typed error instead of hanging.
+    """
+    worker = None
+    boot_error: Optional[BaseException] = None
+    try:
+        if "directory" in payload:
+            worker = ShardWorker.recover(
+                index, num_shards, seed, payload["directory"], payload.get("config")
+            )
+        else:
+            worker = ShardWorker(
+                index, num_shards, seed, payload["fragment"], payload.get("config")
+            )
+    except BaseException as exc:
+        boot_error = exc
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except EOFError:
+                break
+            if worker is None:
+                conn.send({"ok": False, "error": boot_error})
+                continue
+            response = worker.handle(request)
+            try:
+                conn.send(response)
+            except Exception:
+                # An unpicklable result/error: degrade to a string error.
+                detail = response.get("error") or response.get("result")
+                conn.send({"ok": False, "error": ReproError(f"unpicklable shard response: {detail!r}")})
+            if request.get("cmd") == "close":
+                break
+    finally:
+        conn.close()

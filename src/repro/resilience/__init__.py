@@ -41,6 +41,7 @@ from .faults import FaultPlan, InjectedFault, KNOWN_SITES, active_plan, inject, 
 from .audit import AuditFinding, AuditReport, QueryAudit, full_audit, sigma_audit
 from .checkpoint import (
     CHECKPOINT_FILE,
+    SHARDING_FILE,
     WAL_FILE,
     load_checkpoint,
     write_checkpoint,
@@ -119,6 +120,7 @@ __all__ = [
     "KNOWN_SITES",
     "NONNEGATIVE_WEIGHT_ALGORITHMS",
     "QueryAudit",
+    "SHARDING_FILE",
     "SessionConfig",
     "SessionTransaction",
     "WAL_FILE",

@@ -40,6 +40,9 @@ _CHECKPOINT_VERSION = 1
 
 CHECKPOINT_FILE = "checkpoint.json"
 WAL_FILE = "wal.jsonl"
+#: Manifest marking a *sharded* session directory (see repro.parallel);
+#: plain-session recovery refuses directories holding one.
+SHARDING_FILE = "sharding.json"
 
 
 # ----------------------------------------------------------------------

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
 from .algorithms import (
     CCfp,
@@ -70,13 +70,20 @@ from .errors import (
     RecoveryError,
     ReproError,
     SessionError,
+    ShardedDirectoryError,
+    ShardingError,
     TransactionError,
 )
 from .graph.graph import Graph
 from .graph.updates import Batch, Update, apply_updates
 from .resilience import SessionConfig
 from .resilience.audit import AuditReport, QueryAudit, full_audit, sigma_audit
-from .resilience.checkpoint import WAL_FILE, load_checkpoint, write_checkpoint
+from .resilience.checkpoint import (
+    SHARDING_FILE,
+    WAL_FILE,
+    load_checkpoint,
+    write_checkpoint,
+)
 from .resilience.faults import InjectedFault, inject
 from .resilience.incidents import IncidentLog
 from .resilience.sanitizer import apply_starting, guarded_mutation, wal_logged
@@ -307,6 +314,18 @@ class DynamicGraphSession:
         ]
         if not stream:
             return {}
+        if all(len(batch) == 0 for batch in stream):
+            # Seq-only window: a shard receiving the empty sub-batches of
+            # a window it does not participate in (repro.parallel.router)
+            # must advance its WAL seq in lockstep with the global seq,
+            # but there is no ΔG — skip the scratch copy, the transaction
+            # snapshots, and the per-query schedulers entirely so an idle
+            # shard's per-window cost does not scale with its fragment.
+            seqs = [self._log(batch) for batch in stream]
+            apply_starting(self, seqs[-1], durable=self._wal is not None)
+            self._batches_applied += len(stream)
+            self._run_cadences()
+            return {}
         scratch = self.graph.copy()
         for batch in stream:
             self._validate(batch, graph=scratch)
@@ -347,6 +366,90 @@ class DynamicGraphSession:
             self._notify(results)
         self._run_cadences()
         return results
+
+    @guarded_mutation("session.absorb")
+    def absorb(
+        self,
+        assignments: Dict[str, Dict[Hashable, Any]],
+        monotone: bool = False,
+        scopes: Optional[Dict[str, Iterable[Hashable]]] = None,
+    ) -> Dict[str, IncrementalResult]:
+        """Absorb authoritative external values into named queries' states.
+
+        ``assignments`` maps query name → ``{variable: value}``.  This is
+        the worker half of the sharded tier's boundary-delta exchange
+        (:mod:`repro.parallel`): the router sends each shard the merged
+        owner values for its replicas, and the shard folds them in via
+        :func:`repro.parallel.boundary.absorb_values` — repair for raised
+        values, plain propagation for improvements — then resumes its
+        local fixpoint.  Only spec-backed queries can absorb (a typed
+        :class:`~repro.errors.ShardingError` otherwise).  Absorbs are
+        *not* WAL-logged: they carry no graph delta, and recovery
+        re-derives them by a full re-exchange across shards.
+
+        ``scopes`` optionally adds per-query key sets to the resumed
+        fixpoint's scope (the refine half of the router's invalidation
+        protocol: previously-reset keys re-derive even if no pin landed
+        on them this round).
+        """
+        from .parallel.boundary import absorb_values
+
+        results: Dict[str, IncrementalResult] = {}
+        names = set(assignments)
+        if scopes:
+            names.update(scopes)
+        for name in names:
+            registered, spec = self._sharded_query(name)
+            results[name] = absorb_values(
+                spec,
+                registered.graph,
+                registered.state,
+                assignments.get(name, {}),
+                registered.query,
+                monotone=monotone,
+                extra_scope=scopes.get(name) if scopes else None,
+            )
+            if hasattr(registered.incremental, "_kernel_ctx"):
+                # Absorbed values bypass the dense mirror; never trust it
+                # afterwards (same rule as _recompute).
+                registered.incremental._kernel_ctx = None
+        return results
+
+    @guarded_mutation("session.invalidate")
+    def invalidate(
+        self, assignments: Dict[str, Iterable[Hashable]]
+    ) -> Dict[str, IncrementalResult]:
+        """Transitively reset values anchored on retracted boundary keys.
+
+        ``assignments`` maps query name → keys whose authoritative values
+        were *raised* by their owner shard.  Each named key and everything
+        locally anchored on it resets to its initial value with no
+        re-derivation (:func:`repro.parallel.boundary.invalidate_values`)
+        — the first phase of the router's raise protocol; the matching
+        refine phase is :meth:`absorb` with ``scopes``.
+        """
+        from .parallel.boundary import invalidate_values
+
+        results: Dict[str, IncrementalResult] = {}
+        for name, keys in assignments.items():
+            registered, spec = self._sharded_query(name)
+            results[name] = invalidate_values(
+                spec, registered.graph, registered.state, keys, registered.query
+            )
+            if hasattr(registered.incremental, "_kernel_ctx"):
+                registered.incremental._kernel_ctx = None
+        return results
+
+    def _sharded_query(self, name: str):
+        """The registered query and its spec, or a typed sharding error."""
+        registered = self._query(name)
+        spec = getattr(registered.incremental, "spec", None)
+        if spec is None:
+            raise ShardingError(
+                f"query {name!r} ({registered.algorithm}) has no fixpoint "
+                "spec; boundary absorption requires a deduced A_Δ"
+            )
+        return registered, spec
 
     # ------------------------------------------------------------------
     def _validate(self, delta: Batch, graph: Optional[Graph] = None) -> None:
@@ -578,6 +681,12 @@ class DynamicGraphSession:
         exactly what the crash-recovery suite asserts.
         """
         directory = Path(directory)
+        if (directory / SHARDING_FILE).exists():
+            raise ShardedDirectoryError(
+                f"{directory} is a sharded session directory (it holds a "
+                f"{SHARDING_FILE} manifest); recover it with "
+                "repro.parallel.ShardedSession.recover or `repro recover`"
+            )
         doc = load_checkpoint(directory)
         if config is None:
             config = SessionConfig(directory=directory)

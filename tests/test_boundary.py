@@ -1,0 +1,131 @@
+"""Unit tests for the boundary-delta primitives (`repro.parallel.boundary`).
+
+These exercise :func:`absorb_values` and :func:`invalidate_values` on a
+single fragment in isolation — the shapes the router composes into its
+exchange and raise protocols.  The fragment below mimics a real shard:
+node 1 is a *replica* (no local in-edges, its value only arrives via
+absorbed messages) feeding an owned chain 1→2→3.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.lcc import LCCSpec
+from repro.algorithms.sssp import SSSPSpec
+from repro.core import run_batch
+from repro.errors import ShardingError
+from repro.graph import Graph
+from repro.parallel import absorb_values, invalidate_values
+
+INF = math.inf
+
+
+def fragment():
+    g = Graph(directed=True)
+    for v in (0, 1, 2, 3):
+        g.ensure_node(v)
+    g.add_edge(1, 2, weight=1.0)
+    g.add_edge(2, 3, weight=1.0)
+    return g
+
+
+def fresh_state(g):
+    # Source 0 is an isolated replica (the router materializes sources on
+    # every shard); the path to 1 lives on another fragment, so the local
+    # batch run leaves the chain at x^⊥ = inf until a message arrives.
+    state = run_batch(SSSPSpec(), g, 0)
+    assert {k: state.values[k] for k in (1, 2, 3)} == {1: INF, 2: INF, 3: INF}
+    return state
+
+
+class TestAbsorbValues:
+    def test_improvement_propagates_downstream(self):
+        g = fragment()
+        state = fresh_state(g)
+        result = absorb_values(SSSPSpec(), g, state, {1: 1.0}, query=0)
+        assert {k: state.values[k] for k in (1, 2, 3)} == {1: 1.0, 2: 2.0, 3: 3.0}
+        assert set(result.changes) == {1, 2, 3}
+
+    def test_raise_repairs_anchored_values(self):
+        g = fragment()
+        state = fresh_state(g)
+        absorb_values(SSSPSpec(), g, state, {1: 1.0}, query=0)
+        # The owner retracted support: 1 is now farther.  Everything
+        # anchored on the old value must follow it up, and the pin must
+        # hold (no local in-edge can re-derive the stale 1.0).
+        result = absorb_values(SSSPSpec(), g, state, {1: 4.0}, query=0)
+        assert {k: state.values[k] for k in (1, 2, 3)} == {1: 4.0, 2: 5.0, 3: 6.0}
+        assert result.changes[2] == (2.0, 5.0)
+
+    def test_monotone_skips_raises(self):
+        g = fragment()
+        state = fresh_state(g)
+        absorb_values(SSSPSpec(), g, state, {1: 1.0}, query=0)
+        result = absorb_values(
+            SSSPSpec(), g, state, {1: 9.0, 2: 1.5}, query=0, monotone=True
+        )
+        # The raise on 1 is ignored; the improvement on 2 is adopted and
+        # flows to 3.
+        assert {k: state.values[k] for k in (1, 2, 3)} == {1: 1.0, 2: 1.5, 3: 2.5}
+        assert 1 not in result.changes
+
+    def test_unknown_keys_are_skipped(self):
+        g = fragment()
+        state = fresh_state(g)
+        result = absorb_values(SSSPSpec(), g, state, {99: 1.0}, query=0)
+        assert result.changes == {}
+
+    def test_equal_values_are_noops(self):
+        g = fragment()
+        state = fresh_state(g)
+        absorb_values(SSSPSpec(), g, state, {1: 1.0}, query=0)
+        result = absorb_values(SSSPSpec(), g, state, {1: 1.0}, query=0)
+        assert result.changes == {}
+        assert result.scope == set()
+
+    def test_orderless_spec_rejected(self):
+        g = fragment()
+        with pytest.raises(ShardingError):
+            absorb_values(LCCSpec(), g, run_batch(LCCSpec(), g, None), {1: 0.0})
+
+
+class TestInvalidateValues:
+    def test_transitive_reset_without_rederivation(self):
+        g = fragment()
+        state = fresh_state(g)
+        absorb_values(SSSPSpec(), g, state, {1: 1.0}, query=0)
+        result = invalidate_values(SSSPSpec(), g, state, [1], query=0)
+        # 2 anchors on 1 and 3 on 2: the whole chain resets to x^⊥ and
+        # nothing is re-derived (that is the refine step's job).
+        assert result.scope == {1, 2, 3}
+        assert {k: state.values[k] for k in (1, 2, 3)} == {1: INF, 2: INF, 3: INF}
+        assert result.changes[3] == (3.0, INF)
+
+    def test_refine_roundtrip_restores_fixpoint(self):
+        g = fragment()
+        state = fresh_state(g)
+        absorb_values(SSSPSpec(), g, state, {1: 1.0}, query=0)
+        wave = invalidate_values(SSSPSpec(), g, state, [1], query=0)
+        # Router refine: re-pin the replica from the merged assignment and
+        # monotone-absorb with the reset keys as extra scope.
+        absorb_values(
+            SSSPSpec(), g, state, {1: 1.0}, query=0, monotone=True, extra_scope=wave.scope
+        )
+        assert {k: state.values[k] for k in (1, 2, 3)} == {1: 1.0, 2: 2.0, 3: 3.0}
+
+    def test_absent_keys_are_skipped(self):
+        g = fragment()
+        state = fresh_state(g)
+        result = invalidate_values(SSSPSpec(), g, state, [99], query=0)
+        assert result.scope == set()
+        assert result.changes == {}
+
+    def test_each_key_resets_at_most_once(self):
+        g = fragment()
+        g.add_edge(3, 1, weight=1.0)  # cycle 1→2→3→1: the wave must die out
+        state = fresh_state(g)
+        absorb_values(SSSPSpec(), g, state, {1: 1.0}, query=0)
+        result = invalidate_values(SSSPSpec(), g, state, [1], query=0)
+        assert result.scope == {1, 2, 3}
+        assert all(state.values[k] == INF for k in (1, 2, 3))

@@ -266,3 +266,49 @@ class TestServeCommand:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=15)
+
+
+class TestShardedRecover:
+    @pytest.fixture()
+    def sharded_dir(self, tmp_path):
+        from repro.generators import assign_weights, erdos_renyi
+        from repro.graph import Batch, EdgeDeletion
+        from repro.parallel import ShardedSession
+        from repro.resilience import SessionConfig
+
+        graph = assign_weights(erdos_renyi(12, 24, directed=False, seed=3), seed=3)
+        session = ShardedSession(
+            graph, 2, config=SessionConfig(directory=tmp_path), processes=False
+        )
+        session.register("cc", "CC")
+        session.register("d", "SSSP", query=0)
+        session.update(Batch([EdgeDeletion(*next(iter(graph.edges())))]))
+        seq = session.seq
+        session.close()
+        return tmp_path, seq
+
+    def test_recover_detects_sharded_directory(self, capsys, sharded_dir):
+        directory, seq = sharded_dir
+        code, out, _err = run_cli(capsys, "recover", str(directory))
+        assert code == 0
+        document = json.loads(out)
+        assert document["sharded"] is True
+        assert document["num_shards"] == 2
+        assert document["seq"] == seq
+        assert set(document["queries"]) == {"cc", "d"}
+
+    def test_audit_flag_rejected_for_sharded(self, capsys, sharded_dir):
+        directory, _seq = sharded_dir
+        code, _out, err = run_cli(capsys, "recover", str(directory), "--audit")
+        assert code == 2
+        assert "sharded" in err
+
+    def test_missing_shard_is_typed_error(self, capsys, sharded_dir):
+        import shutil
+
+        directory, _seq = sharded_dir
+        shutil.rmtree(directory / "shard-01")
+        code, _out, err = run_cli(capsys, "recover", str(directory))
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "Traceback" not in err

@@ -419,6 +419,24 @@ class TestRepositoryClean:
         for entry in DEFAULT_MODEL.reader_entries:
             assert entry in index.functions, f"stale reader entry {entry}"
 
+    def test_sharded_tier_is_covered(self):
+        # The router/worker boundary must stay inside the thread model —
+        # writer-owned (T001 proves no reader entry reaches it) and, for
+        # the router facade, escape-checked like the plain session
+        # (T002) — and the classes must actually exist in the index so
+        # the coverage is not vacuous after a rename.
+        from pathlib import Path
+
+        import repro
+
+        index = EffectIndex.from_package(Path(repro.__file__).resolve().parent)
+        for cls in ("ShardedSession", "ShardWorker"):
+            assert cls in DEFAULT_MODEL.guarded_classes, f"{cls} not writer-owned"
+            assert cls in index.classes, f"{cls} missing from effect index"
+        assert "ShardedSession" in DEFAULT_MODEL.shared_classes
+        assert any(".router." in q for q in index.functions)
+        assert any(".worker." in q for q in index.functions)
+
 
 # ======================================================================
 # Dynamic sanitizer: primitives

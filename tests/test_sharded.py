@@ -1,0 +1,283 @@
+"""Tests for the sharded serving tier (`repro.parallel.router` / `worker`).
+
+The correctness anchor is *differential equivalence*: a
+:class:`ShardedSession` over any shard count must serve exactly the
+answers of a single :class:`DynamicGraphSession` fed the same windows —
+including after deletions, whose repairs cross shard boundaries through
+the suspect-invalidation / refine protocol.  CC answers are compared as
+partitions (component labels are representative-dependent).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import random_graph
+from repro.errors import ShardRecoveryError, ShardedDirectoryError, ShardingError
+from repro.graph import Batch, EdgeDeletion, EdgeInsertion, VertexDeletion, VertexInsertion
+from repro.graph.updates import apply_updates
+from repro.parallel import SHARDABLE_ALGORITHMS, ShardedSession
+from repro.resilience import SHARDING_FILE, SessionConfig
+from repro.session import DynamicGraphSession
+
+settings.register_profile("repro-sharded", deadline=None, max_examples=15)
+settings.load_profile("repro-sharded")
+
+ALGOS = [("sssp", "SSSP", 0), ("sswp", "SSWP", 0), ("cc", "CC", None), ("reach", "Reach", 0)]
+
+
+def cc_partition(answer):
+    groups = {}
+    for node, label in answer.items():
+        groups.setdefault(label, set()).add(node)
+    return frozenset(frozenset(g) for g in groups.values())
+
+
+def make_pair(graph, shards, seed=0, processes=False):
+    single = DynamicGraphSession(graph.copy())
+    sharded = ShardedSession(graph.copy(), shards, seed=seed, processes=processes)
+    for name, algo, query in ALGOS:
+        single.register(name, algo, query=query)
+        sharded.register(name, algo, query=query)
+    # Registration may consume extra seqs on the sharded side (source
+    # replicas are materialized through seq-consuming windows so shard
+    # WALs stay aligned); afterwards both must advance in lockstep.
+    single._seq_offset = sharded.seq - single.seq
+    return single, sharded
+
+
+def assert_equivalent(single, sharded, context=""):
+    assert single.seq + getattr(single, "_seq_offset", 0) == sharded.seq, context
+    for name, _algo, _query in ALGOS:
+        a, b = single.answer(name), sharded.answer(name)
+        if name == "cc":
+            assert cc_partition(a) == cc_partition(b), f"{context} {name}"
+        else:
+            assert a == b, f"{context} {name}"
+
+
+def random_windows(rng, graph, steps, next_id):
+    """Valid mutation windows applied to ``graph`` in lockstep."""
+    for _ in range(steps):
+        ops = []
+        for _ in range(rng.randint(1, 4)):
+            kind = rng.random()
+            nodes = list(graph.nodes())
+            edges = list(graph.edges())
+            if kind < 0.35 and len(nodes) >= 2:
+                u, v = rng.sample(nodes, 2)
+                if not graph.has_edge(u, v):
+                    ops.append(EdgeInsertion(u, v, weight=float(rng.randint(1, 9))))
+            elif kind < 0.60 and edges:
+                u, v = rng.choice(edges)
+                ops.append(EdgeDeletion(u, v))
+            elif kind < 0.75:
+                v = next_id[0]
+                next_id[0] += 1
+                attach = []
+                if nodes:
+                    attach.append(
+                        EdgeInsertion(v, rng.choice(nodes), weight=float(rng.randint(1, 9)))
+                    )
+                ops.append(VertexInsertion(v, None, tuple(attach)))
+            elif kind < 0.85 and len(nodes) > 5:
+                candidate = rng.choice(nodes)
+                if candidate != 0:  # keep the registered source alive
+                    ops.append(VertexDeletion(candidate))
+        valid = []
+        scratch = graph.copy()
+        for op in ops:
+            try:
+                apply_updates(scratch, Batch([op]))
+                valid.append(op)
+            except Exception:
+                continue
+        batch = Batch(valid)
+        apply_updates(graph, batch)
+        yield batch
+
+
+class TestDegenerateCase:
+    def test_one_shard_equals_single_session(self):
+        rng = random.Random(1)
+        g = random_graph(rng, 20, 45, directed=False, weighted=True)
+        single, sharded = make_pair(g, shards=1)
+        stream, next_id = g.copy(), [1000]
+        for step, batch in enumerate(random_windows(rng, stream, 30, next_id)):
+            single.update(batch)
+            sharded.update(batch)
+            assert_equivalent(single, sharded, f"step {step}")
+        sharded.close()
+        single.close()
+
+
+class TestBoundaryDeletions:
+    def test_cut_edge_deletion_repairs_across_shards(self):
+        # A path that is guaranteed to cross shard boundaries: deleting
+        # an interior edge must raise downstream SSSP/SSWP/Reach values
+        # on *other* shards via the suspect protocol.
+        g = random_graph(random.Random(0), 0, 0, directed=False)
+        for v in range(10):
+            g.ensure_node(v)
+        for v in range(9):
+            g.add_edge(v, v + 1, weight=1.0)
+        single, sharded = make_pair(g, shards=3)
+        cut = Batch([EdgeDeletion(4, 5)])
+        single.update(cut)
+        sharded.update(cut)
+        assert_equivalent(single, sharded, "after cut")
+        # Re-connect through a longer detour and check values heal.
+        detour = Batch([EdgeInsertion(4, 9, weight=5.0)])
+        single.update(detour)
+        sharded.update(detour)
+        assert_equivalent(single, sharded, "after detour")
+        sharded.close()
+        single.close()
+
+    def test_component_split_and_merge(self):
+        g = random_graph(random.Random(0), 0, 0, directed=False)
+        for v in range(8):
+            g.ensure_node(v)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (3, 4)]:
+            g.add_edge(u, v, weight=2.0)
+        single, sharded = make_pair(g, shards=4)
+        for batch in (
+            Batch([EdgeDeletion(3, 4)]),  # split into two components
+            Batch([EdgeInsertion(0, 7, weight=1.0)]),  # merge them back
+            Batch([VertexDeletion(5)]),  # split the ring again
+        ):
+            single.update(batch)
+            sharded.update(batch)
+            assert_equivalent(single, sharded, f"after {list(batch)}")
+        sharded.close()
+        single.close()
+
+
+class TestDifferentialEquivalence:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_random_streams_match_single_session(self, seed, shards):
+        rng = random.Random(seed)
+        g = random_graph(rng, 16, 36, directed=False, weighted=True)
+        single, sharded = make_pair(g, shards=shards, seed=seed)
+        stream, next_id = g.copy(), [1000]
+        for step, batch in enumerate(random_windows(rng, stream, 12, next_id)):
+            single.update(batch)
+            sharded.update(batch)
+            assert_equivalent(single, sharded, f"seed {seed} shards {shards} step {step}")
+        sharded.close()
+        single.close()
+
+
+class TestProcessMode:
+    def test_two_worker_processes_smoke(self):
+        rng = random.Random(23)
+        g = random_graph(rng, 14, 30, directed=False, weighted=True)
+        single, sharded = make_pair(g, shards=2, processes=True)
+        stream, next_id = g.copy(), [1000]
+        try:
+            for step, batch in enumerate(random_windows(rng, stream, 8, next_id)):
+                single.update(batch)
+                sharded.update(batch)
+                assert_equivalent(single, sharded, f"step {step}")
+        finally:
+            sharded.close()
+            single.close()
+
+
+class TestRegistration:
+    def test_unsupported_algorithm_rejected(self):
+        g = random_graph(random.Random(1), 10, 20, directed=False)
+        sharded = ShardedSession(g, 2, processes=False)
+        assert "LCC" not in SHARDABLE_ALGORITHMS
+        with pytest.raises(ShardingError):
+            sharded.register("lcc", "LCC")
+        sharded.close()
+
+    def test_update_stream_window(self):
+        rng = random.Random(4)
+        g = random_graph(rng, 15, 35, directed=False, weighted=True)
+        single, sharded = make_pair(g, shards=3)
+        stream, next_id = g.copy(), [1000]
+        window = list(random_windows(rng, stream, 5, next_id))
+        single.update_stream(window)
+        sharded.update_stream(window)
+        assert_equivalent(single, sharded, "after stream window")
+        sharded.close()
+        single.close()
+
+
+class TestDurability:
+    def _durable(self, tmp_path, shards=3):
+        rng = random.Random(9)
+        g = random_graph(rng, 15, 32, directed=False, weighted=True)
+        config = SessionConfig(directory=tmp_path, checkpoint_every=2)
+        sharded = ShardedSession(g.copy(), shards, config=config, processes=False)
+        for name, algo, query in ALGOS:
+            sharded.register(name, algo, query=query)
+        stream, next_id = g.copy(), [1000]
+        for batch in random_windows(rng, stream, 10, next_id):
+            sharded.update(batch)
+        return sharded
+
+    def test_recover_roundtrip(self, tmp_path):
+        sharded = self._durable(tmp_path)
+        seq = sharded.seq
+        answers = {name: dict(sharded.answer(name)) for name, _a, _q in ALGOS}
+        sharded.close()
+
+        recovered = ShardedSession.recover(tmp_path)
+        assert recovered.seq == seq
+        for name, _algo, _query in ALGOS:
+            if name == "cc":
+                assert cc_partition(recovered.answer(name)) == cc_partition(answers[name])
+            else:
+                assert recovered.answer(name) == answers[name]
+        # The recovered session keeps serving correctly.
+        single = DynamicGraphSession(recovered.graph.copy())
+        for name, algo, query in ALGOS:
+            single.register(name, algo, query=query)
+        single._seq_offset = recovered.seq - single.seq
+        batch = Batch([EdgeDeletion(*next(iter(recovered.graph.edges())))])
+        single.update(batch)
+        recovered.update(batch)
+        assert_equivalent(single, recovered, "post-recovery update")
+        recovered.close()
+        single.close()
+
+    def test_per_shard_directories_do_not_collide(self, tmp_path):
+        sharded = self._durable(tmp_path, shards=3)
+        sharded.close()
+        assert (tmp_path / SHARDING_FILE).exists()
+        shard_dirs = sorted(p.name for p in tmp_path.iterdir() if p.is_dir())
+        assert shard_dirs == ["shard-00", "shard-01", "shard-02"]
+
+    def test_plain_recover_rejects_sharded_directory(self, tmp_path):
+        sharded = self._durable(tmp_path)
+        sharded.close()
+        with pytest.raises(ShardedDirectoryError):
+            DynamicGraphSession.recover(tmp_path)
+
+    def test_recover_without_manifest(self, tmp_path):
+        with pytest.raises(ShardRecoveryError):
+            ShardedSession.recover(tmp_path)
+
+    def test_recover_with_missing_shard(self, tmp_path):
+        sharded = self._durable(tmp_path)
+        sharded.close()
+        import shutil
+
+        shutil.rmtree(tmp_path / "shard-01")
+        with pytest.raises(ShardRecoveryError):
+            ShardedSession.recover(tmp_path)
+
+    def test_recover_with_corrupt_manifest(self, tmp_path):
+        sharded = self._durable(tmp_path)
+        sharded.close()
+        (tmp_path / SHARDING_FILE).write_text('{"num_shards": "many"}')
+        with pytest.raises(ShardRecoveryError):
+            ShardedSession.recover(tmp_path)
