@@ -44,6 +44,15 @@ def host_record() -> Dict[str, Any]:
         "machine": platform.machine(),
         "platform": platform.platform(),
         "cpus": os.cpu_count(),
+        # cpu_count() is the host's core count; the scheduler may pin
+        # this process to fewer (CI containers often do).  Shard-sweep
+        # rows are only comparable with the *effective* parallelism in
+        # view — a 1-core run makes 8 shards pure overhead.
+        "available_cpus": (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count()
+        ),
     }
     try:
         record["git_sha"] = subprocess.run(

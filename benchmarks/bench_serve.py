@@ -12,23 +12,33 @@ Two modes:
     **zero torn reads** — every served answer equals a from-scratch
     batch recomputation at its reported sequence number, (b) reads and
     writes actually flowed, and (c) the service drains and shuts down
-    cleanly.  Exits non-zero on any failure.
+    cleanly.  The sharded pass additionally runs a deletion-heavy mix
+    and gates the protocol telemetry: mean scatter round-trips per
+    deletion window must stay under :data:`SMOKE_SCATTER_CEILING`.
+    Exits non-zero on any failure.
 
 default (full)
     Timed load runs against an in-process server, swept over the shard
     count (1 / 2 / 4 / 8 — ``shards=1`` is the plain single-writer
-    session, ``shards>1`` the multi-process sharded tier) and two
+    session, ``shards>1`` the multi-process sharded tier) and three
     workload mixes per shard count:
 
     * ``read_heavy`` — 95% reads / 5% writes, the standing-query
       serving regime the snapshot store is built for;
     * ``write_heavy`` — 50% reads / 50% writes, stressing the writer
-      window batching and the cross-shard boundary-delta fixpoint.
+      window batching and the cross-shard boundary-delta fixpoint;
+    * ``delete_heavy`` — 50% reads / 50% writes with writers biased to
+      0.75 deletions, the raise-protocol regime whose scatter counts
+      the batched invalidate/settle/reconcile exchange is built to cut.
 
     Each records throughput (ops/s) and read/write latency percentiles
-    (p50/p99) plus the service's own window counters, and every mix is
-    gated on zero isolation violations.  The JSON file is append-only
-    across PRs (see ``benchmarks/_shared.record_results``).
+    (p50/p99) plus the service's own window counters — and, for sharded
+    runs, the ``ProtocolStats`` block (scatters per deletion window,
+    skipped exchanges, dup-suppressed resets, bytes shipped).  Every mix
+    is gated on zero isolation violations, and a ``split_micro`` row
+    times the router's memoized ownership lookup against raw
+    ``stable_assign``.  The JSON file is append-only across PRs (see
+    ``benchmarks/_shared.record_results``).
 
     Caveat for reading the shard sweep: sharding buys wall-clock
     throughput only when worker processes run on distinct cores.  On a
@@ -75,7 +85,19 @@ def start_server(edges: int, queue_size: int = 256, shards: int = 1):
     return graph, service, server
 
 
-def run_mix(server, service, graph, *, name, shards, read_fraction, duration, threads, seed):
+def run_mix(
+    server,
+    service,
+    graph,
+    *,
+    name,
+    shards,
+    read_fraction,
+    duration,
+    threads,
+    seed,
+    delete_bias=0.4,
+):
     host, port = server.address
     base_seq = service.session.seq
     base_graph = service.session.graph.copy()
@@ -89,9 +111,11 @@ def run_mix(server, service, graph, *, name, shards, read_fraction, duration, th
         threads=threads,
         base_nodes=list(graph.nodes())[:32],
         seed=seed,
+        delete_bias=delete_bias,
     )
     violations = verify_isolation(base_graph, QUERIES, report, base_seq=base_seq)
-    window = service.stats(reset_window=True)["window"]
+    stats = service.stats(reset_window=True)
+    window = stats["window"]
     summary = report.summary()
     entry = {
         "name": name,
@@ -100,6 +124,7 @@ def run_mix(server, service, graph, *, name, shards, read_fraction, duration, th
         "nodes": graph.num_nodes,
         "threads": threads,
         "read_fraction": read_fraction,
+        "delete_bias": delete_bias,
         "reads": report.reads,
         "writes": report.writes,
         "throughput_ops_s": summary["throughput_ops_s"],
@@ -112,12 +137,35 @@ def run_mix(server, service, graph, *, name, shards, read_fraction, duration, th
         "shed_deadline": window["shed_deadline"],
         "isolation_violations": len(violations),
     }
-    print(
+    protocol = stats.get("protocol")
+    if protocol is not None:
+        proto = protocol["window"]
+        entry.update(
+            {
+                "scatters": proto["scatters"],
+                "deletion_windows": proto["deletion_windows"],
+                "scatters_per_deletion_window": proto["scatters_per_deletion_window"],
+                "skipped_exchanges": proto["skipped_exchanges"],
+                "suspect_resets": proto["suspect_resets"],
+                "central_resets": proto["central_resets"],
+                "dup_suppressed": proto["dup_suppressed"],
+                "settle_changes": proto["settle_changes"],
+                "full_resyncs": proto["full_resyncs"],
+                "bytes_shipped": proto["bytes_shipped"],
+            }
+        )
+    line = (
         f"{name:12s} shards={shards}  {entry['throughput_ops_s']:10.0f} ops/s  "
         f"read p50 {entry['read_p50_ms']:.2f}ms p99 {entry['read_p99_ms']:.2f}ms  "
         f"write p50 {entry['write_p50_ms']:.2f}ms p99 {entry['write_p99_ms']:.2f}ms  "
         f"violations={len(violations)}"
     )
+    if protocol is not None:
+        line += (
+            f"  scatters/del-window {entry['scatters_per_deletion_window']:.2f} "
+            f"(skipped={entry['skipped_exchanges']}, dups={entry['dup_suppressed']})"
+        )
+    print(line)
     return entry, violations
 
 
@@ -134,6 +182,15 @@ def _check_entry(name: str, entry, violations) -> bool:
         )
         return False
     return True
+
+
+#: CI regression ceiling on mean scatter round-trips per deletion window
+#: in the sharded smoke mix.  The batched protocol budgets apply (1) +
+#: invalidation wave (~1) + reconcile (1) ≈ 3, and interior deletion
+#: windows skip the exchange at 1; PR 7's wave-per-superstep protocol
+#: measured ~10, so a regression back to per-round scattering trips this
+#: immediately.
+SMOKE_SCATTER_CEILING = 3.5
 
 
 def smoke() -> int:
@@ -153,6 +210,41 @@ def smoke() -> int:
             )
             if not _check_entry(f"smoke shards={shards}", entry, violations):
                 return 1
+            if shards > 1:
+                deletion, violations = run_mix(
+                    server,
+                    service,
+                    graph,
+                    name="smoke_delete",
+                    shards=shards,
+                    read_fraction=0.5,
+                    duration=2.0,
+                    threads=8,
+                    seed=23,
+                    delete_bias=0.75,
+                )
+                if not _check_entry(f"smoke_delete shards={shards}", deletion, violations):
+                    return 1
+                if deletion["deletion_windows"] == 0:
+                    print(
+                        "FAIL: deletion-heavy smoke produced no deletion windows",
+                        file=sys.stderr,
+                    )
+                    return 1
+                per_window = deletion["scatters_per_deletion_window"]
+                if per_window > SMOKE_SCATTER_CEILING:
+                    print(
+                        f"FAIL: {per_window:.2f} scatters per deletion window "
+                        f"(ceiling {SMOKE_SCATTER_CEILING}): the batched "
+                        "deletion protocol has regressed",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(
+                    f"scatter gate OK: {per_window:.2f} scatters/deletion-window "
+                    f"over {deletion['deletion_windows']} deletion windows "
+                    f"(ceiling {SMOKE_SCATTER_CEILING})"
+                )
         finally:
             server.stop()
             service.close()
@@ -165,6 +257,47 @@ def smoke() -> int:
             "0 isolation violations, clean shutdown"
         )
     return 0
+
+
+def split_micro(edges: int = 2_000, shards: int = 4, repeats: int = 50):
+    """Micro-benchmark the split path's per-endpoint ownership lookup:
+    the router's session-level dict memo against the raw (lru_cached,
+    md5-hashing on miss) ``stable_assign`` it fronts."""
+    from time import perf_counter
+
+    from repro.parallel.partition import stable_assign
+
+    graph = make_graph(edges)
+    session = ShardedSession(graph, shards, processes=False)
+    try:
+        ids = list(graph.nodes())
+        start = perf_counter()
+        for _ in range(repeats):
+            for node in ids:
+                session._owner(node)
+        memo_s = perf_counter() - start
+        start = perf_counter()
+        for _ in range(repeats):
+            for node in ids:
+                stable_assign(node, shards, session.seed)
+        lru_s = perf_counter() - start
+    finally:
+        session.close()
+    lookups = repeats * len(ids)
+    entry = {
+        "name": "split_micro",
+        "shards": shards,
+        "lookups": lookups,
+        "owner_memo_ns": round(memo_s / lookups * 1e9, 1),
+        "stable_assign_ns": round(lru_s / lookups * 1e9, 1),
+        "memo_speedup": round(lru_s / memo_s, 2) if memo_s > 0 else 0.0,
+    }
+    print(
+        f"split_micro  shards={shards}  owner memo {entry['owner_memo_ns']:.0f}ns  "
+        f"stable_assign {entry['stable_assign_ns']:.0f}ns  "
+        f"({entry['memo_speedup']:.2f}x)"
+    )
+    return entry
 
 
 def main() -> int:
@@ -195,7 +328,11 @@ def main() -> int:
     for shards in args.shards:
         graph, service, server = start_server(edges=args.edges, shards=shards)
         try:
-            for name, read_fraction in (("read_heavy", 0.95), ("write_heavy", 0.5)):
+            for name, read_fraction, delete_bias in (
+                ("read_heavy", 0.95, 0.4),
+                ("write_heavy", 0.5, 0.4),
+                ("delete_heavy", 0.5, 0.75),
+            ):
                 entry, violations = run_mix(
                     server,
                     service,
@@ -206,6 +343,7 @@ def main() -> int:
                     duration=args.duration,
                     threads=args.threads,
                     seed=seed,
+                    delete_bias=delete_bias,
                 )
                 seed += 1
                 if not _check_entry(f"{name} shards={shards}", entry, violations):
@@ -225,6 +363,8 @@ def main() -> int:
                 continue
             ratio = entry["throughput_ops_s"] / baseline["throughput_ops_s"]
             print(f"  shards={entry['shards']}: {ratio:5.2f}x")
+
+    results.append(split_micro(edges=args.edges))
 
     run = record_results(args.out, "serve", results)
     print(f"wrote {args.out} (run {run})")

@@ -196,6 +196,7 @@ def invalidate_values(
     state: FixpointState,
     keys: Iterable[Hashable],
     query: Any = None,
+    already: Optional[set] = None,
 ) -> IncrementalResult:
     """Reset ``keys`` and everything locally anchored on them to ``x^⊥``.
 
@@ -210,6 +211,14 @@ def invalidate_values(
     :func:`absorb_values` with ``extra_scope`` = the reset keys) then
     re-derives tight values from surviving support only.
 
+    ``already`` is the window-scoped seen-set: keys reset by an earlier
+    invalidation round of the *same* window.  They are skipped both as
+    seeds and as transitive targets (a variable is reset at most once per
+    window on each fragment), and every key this call walks is added to
+    the set in place — the worker keeps one such set per query per window,
+    mirroring the router's send-side dedup.  The number of skipped seeds
+    is reported on the result as ``dup_suppressed``.
+
     Returns an :class:`~repro.core.incremental.IncrementalResult` whose
     ``changes`` records every reset and whose ``scope`` is the reset key
     set (the worker accumulates it for the refine step).  Keys absent
@@ -217,15 +226,22 @@ def invalidate_values(
     """
     result = IncrementalResult(h_counter=NullCounter(), engine_counter=NullCounter())
     changelog = state.start_changelog()
+    dup_suppressed = 0
+    if already is None:
+        already = set()
     try:
         old_values: Dict[Hashable, Any] = {}
         old_ts: Dict[Hashable, int] = {}
         work: deque = deque()
         seen = set()
         for key in keys:
+            if key in already:
+                dup_suppressed += 1
+                continue
             if key not in state.values or key in seen:
                 continue
             seen.add(key)
+            already.add(key)
             initial = spec.initial_value(key, graph, query)
             old_values[key] = state.values[key]
             old_ts[key] = state.timestamp(key)
@@ -244,9 +260,10 @@ def invalidate_values(
             for dep in spec.anchor_dependents(
                 key, old_value_of, old_timestamp_of, graph, query
             ):
-                if dep in seen or dep not in state.values:
+                if dep in seen or dep in already or dep not in state.values:
                     continue
                 seen.add(dep)
+                already.add(dep)
                 old_values[dep] = state.values[dep]
                 old_ts[dep] = state.timestamp(dep)
                 initial = spec.initial_value(dep, graph, query)
@@ -260,4 +277,5 @@ def invalidate_values(
         new_value = state.values.get(key)
         if old_value != new_value:
             result.changes[key] = (old_value, new_value)
+    result.dup_suppressed = dup_suppressed
     return result

@@ -23,18 +23,31 @@ Execution model (the paper's Section 6, PEval/IncEval):
   incremental session (PEval already ran at registration; this is the
   per-fragment ``A_Δ``).
 * **Boundary exchange.**  Workers reply with their *owned* changed
-  values and their *dirty replicas* (replica variables that drifted from
-  the last pinned value).  The router merges owned values into the
-  authoritative per-query assignment, fans changed values to every shard
-  holding a replica, and re-pins drifted replicas; shards absorb the
-  deltas (:meth:`DynamicGraphSession.absorb` — improvements propagate
-  monotonically, raises run the Figure-4 repair pass) and reply with the
-  next wave.  The loop runs until no messages remain — global
-  quiescence, the paper's IncEval superstep loop.  A blown round cap
-  falls back to a **full resync**: every shard re-runs the batch
-  algorithm on its fragment (feasible, stale-high) and a monotone
-  improvement-only exchange — the GRAPE convergence argument — rebuilds
-  the exact global fixpoint.
+  values, their *dirty replicas* (replica variables that drifted from
+  the last pinned value), and a ``boundary_dirty`` digest counting the
+  boundary-relevant changes.  When every digest is zero and nothing
+  needs a pin, the window terminates after the apply scatter alone (the
+  *boundary-change skip rule* — no confirming empty scatter).  Otherwise
+  the batched exchange runs: a deduped **invalidation wave** (deletion
+  windows only; each worker walks the full transitive suspect closure
+  locally, a window-scoped seen-set on the router mirrored per worker
+  caps every (shard, key) at one reset per window), a **router-side
+  reset closure + settle** — the dependents closure of every raised key
+  is reset to x^⊥ on the merged assignment (stale values can support
+  each other in cycles, so cross-fragment residue is closed by closure,
+  not by support checks), then the contracting step function resumes on
+  the global graph over the changed/reset/dirty scope, re-deriving the
+  exact global fixpoint in zero scatters — and a single non-monotone
+  **reconcile** scatter shipping every touched key to its owner and
+  holders; raised pins trigger each worker's local reset-then-resume
+  repair, so the exchange quiesces in that one round.  A deletion
+  window therefore costs exactly 3 scatters (apply + wave + reconcile)
+  instead of O(waves × refine rounds);
+  :class:`~repro.parallel.stats.ProtocolStats` measures it.  A
+  blown round cap falls back to a **full resync**: every shard re-runs
+  the batch algorithm on its fragment (feasible, stale-high) and a
+  monotone improvement-only exchange — the GRAPE convergence argument —
+  rebuilds the exact global fixpoint.
 * **Reads.**  ``answer()`` extracts from the merged authoritative
   assignment, which is only updated between fully-quiesced windows — a
   cross-shard-consistent snapshot tagged by the global sequence number.
@@ -55,11 +68,13 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import pickle
 from collections import deque
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, Hashable, List, Optional, Set, Union
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple, Union
 
+from ..core.engine import run_fixpoint
 from ..core.incremental import IncrementalResult
 from ..core.state import FixpointState
 from ..errors import (
@@ -84,6 +99,7 @@ from ..resilience.incidents import IncidentLog
 from ..resilience.validate import session_weight_requirements, validate_batch
 from ..session import ALGORITHM_PAIRS, Listener
 from .partition import stable_assign, stable_partition
+from .stats import ProtocolStats
 from .worker import ShardWorker, shard_main
 
 #: Algorithms the sharded tier can host: node-keyed contracting specs,
@@ -115,14 +131,22 @@ class _ShardedQuery:
 
 
 class _InProcessShard:
-    """Transport running the worker inline (tests, recovery, debugging)."""
+    """Transport running the worker inline (tests, recovery, debugging).
+
+    Requests round-trip through pickle exactly like the process
+    transport's pipe, so byte accounting is uniform and picklability
+    bugs surface in deterministic tests rather than only under
+    ``processes=True``.
+    """
 
     def __init__(self, worker: ShardWorker) -> None:
         self.worker = worker
         self._responses: deque = deque()
 
-    def send(self, request: Dict[str, Any]) -> None:
-        self._responses.append(self.worker.handle(request))
+    def send(self, request: Dict[str, Any]) -> int:
+        blob = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+        self._responses.append(self.worker.handle(pickle.loads(blob)))
+        return len(blob)
 
     def recv(self) -> Dict[str, Any]:
         return self._responses.popleft()
@@ -148,9 +172,15 @@ class _ProcessShard:
         child.close()
         self.conn = parent
 
-    def send(self, request: Dict[str, Any]) -> None:
+    def send(self, request: Dict[str, Any]) -> int:
+        # Pickle once ourselves and ship the blob: ``Connection.recv`` on
+        # the worker side unpickles byte messages, so this is wire-
+        # compatible with ``Connection.send`` while giving the router the
+        # exact shipped size for ProtocolStats.
         try:
-            self.conn.send(request)
+            blob = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+            self.conn.send_bytes(blob)
+            return len(blob)
         except (BrokenPipeError, OSError) as exc:
             raise ShardingError(
                 f"shard {self.index} pipe is closed: {exc}", shard=self.index
@@ -221,6 +251,12 @@ class ShardedSession:
         self._seq = -1
         self._batches = 0
         self._closed = False
+        #: Protocol telemetry, surfaced through ``repro serve`` stats.
+        self.protocol_stats = ProtocolStats()
+        #: Session-level ownership memo: ``stable_assign`` is an md5 hash
+        #: per miss, and the split path asks per endpoint per op — a plain
+        #: dict hit is ~5x cheaper than even the lru_cache lookup.
+        self._owner_cache: Dict[Hashable, int] = {}
         # Persistent validation overlay: kept ⊕-consistent with `graph`
         # so window validation is O(|ΔG|), not O(|G|) (re-cloned only on
         # a failed validation, which leaves it part-applied).
@@ -267,8 +303,13 @@ class ShardedSession:
         """Send every request, then collect every response (in shard
         order, so pipes never hold more than one in-flight reply)."""
         order = sorted(requests)
+        payload_bytes = 0
         for i in order:
-            self._shards[i].send(requests[i])
+            payload_bytes += self._shards[i].send(requests[i])
+        if order:
+            self.protocol_stats.scatter(
+                requests[order[0]].get("cmd", "?"), len(order), payload_bytes
+            )
         results: Dict[int, Any] = {}
         failure = None
         for i in order:  # drain every pipe even when one shard failed
@@ -288,7 +329,14 @@ class ShardedSession:
         return results
 
     def _owner(self, node: Hashable) -> int:
-        return stable_assign(node, self.num_shards, self.seed)
+        cache = self._owner_cache
+        owner = cache.get(node)
+        if owner is None:
+            if len(cache) > (1 << 20):  # runaway node churn: start over
+                cache.clear()
+            owner = stable_assign(node, self.num_shards, self.seed)
+            cache[node] = owner
+        return owner
 
     # ------------------------------------------------------------------
     # Registration
@@ -428,7 +476,18 @@ class ShardedSession:
         if self._closed:
             raise ShardingError("sharded session is closed")
         self._validate_stream(stream)
+        raising = any(
+            isinstance(op, (EdgeDeletion, VertexDeletion))
+            for batch in stream
+            for op in batch
+        )
+        self.protocol_stats.begin_window(deletions=raising)
+        try:
+            return self._routed_window(stream)
+        finally:
+            self.protocol_stats.end_window()
 
+    def _routed_window(self, stream: List[Batch]) -> Dict[str, IncrementalResult]:
         per_shard: List[List[Batch]] = [[] for _ in range(self.num_shards)]
         new_replicas: List = []
         new_owned: List[Hashable] = []
@@ -454,25 +513,16 @@ class ShardedSession:
         changes: Dict[str, Dict] = {qname: {} for qname in self._queries}
         pending = [dict() for _ in range(self.num_shards)]
         invalidations = [dict() for _ in range(self.num_shards)]
+        dirty_seen: Dict[str, Set[Hashable]] = {}
         resync: Set[str] = set()
-        self._integrate_gathers(gathers, pending, changes, resync, invalidations)
-        for shard, node in new_replicas:
-            # A replica materialized this window starts at x^⊥ locally;
-            # pin it to the authoritative value outright.
-            for qname, merged in self._values.items():
-                if node in merged:
-                    pending[shard].setdefault(qname, {})[node] = merged[node]
-        if any(invalidations):
-            quiesced = self._raise_protocol(invalidations, pending, changes, resync)
-        else:
-            quiesced = self._exchange(pending, changes, resync, cap=MAX_EXCHANGE_ROUNDS)
-        if not quiesced:
-            resync.update(self._queries)
-        self._full_resync(sorted(resync), changes)
+        self._integrate_gathers(
+            gathers, pending, changes, resync, invalidations, dirty_seen
+        )
 
         # A fresh variable that never left its initial value emits no
         # change record, so no shard ever reported it — backfill owned
-        # newcomers at x^⊥ to keep the merged assignment total.
+        # newcomers at x^⊥ *before* the settle, which needs the merged
+        # assignment total to resume the step function on the global graph.
         for node in new_owned:
             if not self.graph.has_node(node):
                 continue  # inserted then deleted within the window
@@ -485,6 +535,32 @@ class ShardedSession:
                 )
                 merged[node] = value
                 self._record(changes[qname], node, None, value)
+
+        # The boundary_dirty termination rule: when no shard changed a
+        # boundary-relevant variable, reported a suspect repair scope, or
+        # needs a pin (fresh replicas included), the window is interior to
+        # every fragment and the exchange is skipped outright — no
+        # confirming empty scatter.
+        if (
+            not any(invalidations)
+            and not any(pending)
+            and not new_replicas
+            and not resync
+            and all(
+                delta.get("boundary_dirty", 1) == 0 and not delta.get("suspect")
+                for gather in gathers.values()
+                for delta in gather["queries"].values()
+            )
+        ):
+            self.protocol_stats.add("skipped_exchanges")
+            quiesced = True
+        else:
+            quiesced = self._batched_exchange(
+                pending, invalidations, changes, resync, dirty_seen, new_replicas
+            )
+        if not quiesced:
+            resync.update(self._queries)
+        self._full_resync(sorted(resync), changes)
 
         return {
             qname: IncrementalResult(
@@ -576,11 +652,17 @@ class ShardedSession:
         changes: Dict[str, Dict],
         resync: Set[str],
         invalidations: Optional[List[Dict]] = None,
+        dirty_seen: Optional[Dict[str, Set[Hashable]]] = None,
     ) -> None:
         for shard, gather in gathers.items():
             for qname, delta in gather["queries"].items():
                 if qname not in self._values:
                     continue
+                if dirty_seen is not None and delta["dirty"]:
+                    # Remember every key whose replica drifted this window:
+                    # the router-side settle must re-derive from them even
+                    # when the drift was an improvement (no pin created).
+                    dirty_seen.setdefault(qname, set()).update(delta["dirty"])
                 if delta.get("quarantined") and qname not in resync:
                     resync.add(qname)
                     self.incidents.record(
@@ -723,77 +805,91 @@ class ShardedSession:
                         changes.get(qname),
                     )
 
-    def _raise_protocol(
+    def _batched_exchange(
         self,
-        invalidations: List[Dict],
         pending: List[Dict],
+        invalidations: List[Dict],
         changes: Dict[str, Dict],
         resync: Set[str],
+        dirty_seen: Dict[str, Set[Hashable]],
+        new_replicas: List,
     ) -> bool:
-        """Invalidate-then-refine: the terminating raise exchange.
+        """Wave → central reset extension → settle → one reconcile.
 
         Per-key pin/repair is not self-stabilizing across fragments — two
         shards can keep re-deriving each other's retracted values from
-        stale replicas (a period-2 livelock).  Instead: **phase 1** fans
-        every raised key to its replica holders, which transitively reset
-        all locally-anchored values to ``x^⊥`` *without re-deriving
-        anything*; newly reset owned keys fan out in turn.  Each
-        (shard, key) resets at most once, so the wave provably dies out.
-        **Phase 2** re-pins every reset replica to the merged value and
-        has each shard re-derive its reset keys from surviving support
-        only — all values are now feasible (stale-high), so the monotone
-        exchange converges exactly like PEval/IncEval.
+        stale replicas (a period-2 livelock).  **Phase 1** (deletion
+        windows only) is a *single* batched invalidation scatter: every
+        suspect fans to its owner and every replica holder at once, and
+        each worker walks the full transitive reset closure it can
+        compute locally (anchor-exact, deduped against its window
+        seen-set).  **Phase 2** closes the residue centrally: a reset
+        chain that crosses fragments repeatedly would need one scatter
+        per crossing, but the router can finish it on the *merged*
+        assignment — walk the dependents closure of every raised key and
+        reset the region to ``x^⊥`` (:meth:`_extend_resets`, zero
+        scatters; over-resets settle back for free).  **Phase 3**
+        settles: the merged assignment is now feasible (stale-high) and
+        total, so resuming the contracting step function on the global
+        graph over the changed/reset/dirty scope re-derives the exact
+        global fixpoint (:meth:`_settle`, zero scatters).  **Phase 4**
+        ships every touched key to its owner and every holder — plus
+        re-pins for worker-side resets and fresh replicas — in a single
+        ``reconcile`` scatter absorbed with ``monotone=False``: a raised
+        pin triggers the worker's *local* Figure-4 repair (reset anchored
+        dependents, re-derive from pinned support), which lands exactly
+        on the shipped global fixpoint because every value it can read
+        across the boundary is pinned exact.  The trailing absorb loop is
+        a safety net, not a protocol phase — a deletion window is
+        apply + wave + reconcile = 3 scatters by construction.
         """
-        sent: Set = set()
-        repin: List = []
-        rounds = 0
-        while any(invalidations):
-            rounds += 1
-            if rounds > MAX_EXCHANGE_ROUNDS:  # pragma: no cover - bounded by design
-                self.incidents.record(
-                    "invalidation-cap",
-                    detail=f"invalidation wave still busy after {MAX_EXCHANGE_ROUNDS} supersteps",
-                    seq=self._seq,
-                )
-                return False
-            requests = {}
-            for i, assignments in enumerate(invalidations):
-                payload = {}
-                for qname, keys in assignments.items():
-                    fresh = [k for k in keys if (i, qname, k) not in sent]
-                    if fresh:
-                        sent.update((i, qname, k) for k in fresh)
-                        payload[qname] = fresh
-                if payload:
-                    requests[i] = {"cmd": "invalidate", "assignments": payload}
-            if not requests:
-                break
-            gathers = self._scatter(requests)
-            invalidations = [dict() for _ in range(self.num_shards)]
-            for shard, gather in gathers.items():
-                for qname, delta in gather["queries"].items():
-                    if qname not in self._values:
-                        continue
-                    if delta.get("quarantined"):
-                        resync.add(qname)
-                    merged = self._values[qname]
-                    for key, value in delta["owned"].items():
-                        # An owned key transitively reset to x^⊥.
-                        if key in merged and merged[key] != value:
-                            self._record(changes.get(qname), key, merged[key], value)
-                            merged[key] = value
-                        for holder in self._holders.get(key, ()):
-                            if holder != shard:
-                                invalidations[holder].setdefault(qname, set()).add(key)
-                    for key in delta["dirty"]:
-                        repin.append((shard, qname, key))
-        for shard, qname, key in repin:
+        reset_by_shard: List[Dict[str, Set[Hashable]]] = [
+            dict() for _ in range(self.num_shards)
+        ]
+        if any(invalidations):
+            self._invalidation_wave(invalidations, changes, resync, reset_by_shard)
+        self._extend_resets(changes, resync)
+        self._settle(changes, dirty_seen, resync)
+
+        # Assemble the single reconcile payload.  Every key *touched*
+        # this window — changed on any shard, reported dirty, or reset —
+        # goes to its owner and every holder, even when its merged value
+        # net-changed by nothing: a shard that reset the key at apply
+        # time may sit at x^⊥ while the settle proved the global value
+        # unchanged (the supporting path runs through other fragments),
+        # and only a pin can tell it so.  The monotone=False absorb
+        # repairs raises locally.
+        touched: Dict[str, Set[Hashable]] = {}
+        for qname, ch in changes.items():
+            touched.setdefault(qname, set()).update(ch.keys())
+        for qname, keys in dirty_seen.items():
+            touched.setdefault(qname, set()).update(keys)
+        for qname, keys in touched.items():
             merged = self._values[qname]
-            if key in merged:
-                pending[shard].setdefault(qname, {})[key] = merged[key]
-        # Pins queued before (or during) the wave captured pre-invalidation
-        # values; re-read every pin from the merged assignment so refine
-        # never resurrects a value the wave just reset.
+            for key in keys:
+                if key not in merged:
+                    continue
+                targets = set(self._holders.get(key, ()))
+                targets.add(self._owner(key))
+                for target in targets:
+                    pending[target].setdefault(qname, {})[key] = merged[key]
+        # Worker-side resets whose merged value round-tripped (net change
+        # zero) still left the worker at x^⊥ — re-pin them regardless.
+        for shard, per_query in enumerate(reset_by_shard):
+            for qname, keys in per_query.items():
+                merged = self._values[qname]
+                for key in keys:
+                    if key in merged:
+                        pending[shard].setdefault(qname, {})[key] = merged[key]
+        for shard, node in new_replicas:
+            # A replica materialized this window starts at x^⊥ locally;
+            # pin it to the authoritative value outright.
+            for qname, merged in self._values.items():
+                if node in merged:
+                    pending[shard].setdefault(qname, {})[node] = merged[node]
+        # Pins queued before the wave/settle captured pre-exchange values;
+        # re-read every pin from the merged assignment so reconcile never
+        # resurrects a value the wave reset or the settle changed.
         for assignments in pending:
             for qname, pins in assignments.items():
                 merged = self._values[qname]
@@ -802,12 +898,180 @@ class ShardedSession:
                         pins[key] = merged[key]
                     else:
                         del pins[key]
-        gathers = self._scatter(
-            {i: {"cmd": "refine", "assignments": pending[i]} for i in range(self.num_shards)}
-        )
+        requests = {
+            i: {"cmd": "reconcile", "assignments": assignments}
+            for i, assignments in enumerate(pending)
+            if assignments
+        }
+        if not requests:
+            return True
+        gathers = self._scatter(requests)
         pending = [dict() for _ in range(self.num_shards)]
         self._integrate_gathers(gathers, pending, changes, resync)
         return self._exchange(pending, changes, resync, cap=MAX_EXCHANGE_ROUNDS)
+
+    def _invalidation_wave(
+        self,
+        invalidations: List[Dict],
+        changes: Dict[str, Dict],
+        resync: Set[str],
+        reset_by_shard: List[Dict[str, Set[Hashable]]],
+    ) -> None:
+        """Phase 1: one batched reset scatter, deduped per window.
+
+        The scatter carries every suspect to its owner and all replica
+        holders; workers reset the local transitive closure anchored on
+        them (their mirrored seen-set suppresses keys another batch this
+        window already walked).  Resets discovered *during* the walks are
+        not scattered again — cross-fragment residue is cheaper to close
+        centrally (:meth:`_extend_resets`) than with another round-trip
+        per boundary crossing."""
+        stats = self.protocol_stats
+        requests = {}
+        for i, assignments in enumerate(invalidations):
+            payload = {
+                qname: sorted(keys, key=repr)
+                for qname, keys in assignments.items()
+                if keys
+            }
+            if payload:
+                requests[i] = {"cmd": "invalidate", "assignments": payload}
+        if not requests:
+            return
+        gathers = self._scatter(requests)
+        for shard, gather in gathers.items():
+            stats.add("dup_suppressed", gather.get("dup_suppressed", 0))
+            for qname, delta in gather["queries"].items():
+                if qname not in self._values:
+                    continue
+                if delta.get("quarantined"):
+                    resync.add(qname)
+                stats.add("suspect_resets", len(delta["owned"]) + len(delta["dirty"]))
+                merged = self._values[qname]
+                per_query = reset_by_shard[shard].setdefault(qname, set())
+                for key, value in delta["owned"].items():
+                    # An owned key transitively reset to x^⊥.
+                    per_query.add(key)
+                    if key in merged and merged[key] != value:
+                        self._record(changes.get(qname), key, merged[key], value)
+                        merged[key] = value
+                for key in delta["dirty"]:
+                    # A replica reset on `shard`: re-pin it to the settled
+                    # value in the reconcile scatter.
+                    per_query.add(key)
+
+    def _extend_resets(self, changes: Dict[str, Dict], resync: Set[str]) -> None:
+        """Phase 2: close the reset closure centrally on the merged state.
+
+        The single invalidation scatter only resets what each fragment
+        can anchor locally on the suspects it was handed; a reset chain
+        that re-crosses a fragment boundary leaves stale residue.  The
+        residue cannot be found by recompute-and-compare — stale values
+        can support each other in a cycle, each looking derivable from
+        the other — so the only sound value-based rule is the paper's
+        reset-then-resume applied here, centrally: walk the dependents
+        closure of every *raised* key (a value that got worse this
+        window, including every wave reset) and reset the whole region
+        to ``x^⊥``, recorded as changes so the settle re-derives it.  A
+        key whose value was genuinely supported settles straight back —
+        over-resetting costs router CPU, never a scatter and never a
+        pin (its net change is zero).  Improvements seed nothing:
+        monotone refinement needs no resets.
+        """
+        graph = self.graph
+        for qname, registered in self._queries.items():
+            if qname in resync:
+                continue
+            ch = changes.get(qname)
+            if not ch:
+                continue
+            merged = self._values[qname]
+            spec = registered.batch.spec
+            order = spec.order
+            query = registered.query
+            raised = [
+                key
+                for key, (old, new) in ch.items()
+                if old is not None and new is not None and order.lt(old, new)
+            ]
+            if not raised:
+                continue
+            seen: Set[Hashable] = set(raised)
+            work = deque(raised)
+            resets = 0
+            while work:
+                key = work.popleft()
+                if not graph.has_node(key):
+                    continue
+                if key in merged:
+                    old = merged[key]
+                    initial = spec.initial_value(key, graph, query)
+                    if old != initial:
+                        merged[key] = initial
+                        self._record(ch, key, old, initial)
+                        resets += 1
+                for dep in spec.dependents(key, graph, query):
+                    if dep not in seen and dep in merged:
+                        seen.add(dep)
+                        work.append(dep)
+            if resets:
+                self.protocol_stats.add("central_resets", resets)
+
+    def _settle(
+        self,
+        changes: Dict[str, Dict],
+        dirty_seen: Dict[str, Set[Hashable]],
+        resync: Set[str],
+    ) -> Dict[str, Set[Hashable]]:
+        """Phase 2: re-derive the global fixpoint centrally.
+
+        The merged assignment after apply + wave is feasible (stale-high)
+        and total, so resuming the contracting step function on the
+        *global* graph over scope = changed ∪ reset ∪ dirty keys ∪ their
+        dependents yields the exact global fixpoint — the same
+        convergence argument the monotone exchange uses, collapsed into
+        zero scatters.  Returns the keys the settle changed per query.
+        """
+        settle_changed: Dict[str, Set[Hashable]] = {}
+        graph = self.graph
+        for qname, registered in self._queries.items():
+            if qname in resync:
+                continue  # being rebuilt wholesale anyway
+            seeds = set(changes.get(qname, ()))
+            seeds.update(dirty_seen.get(qname, ()))
+            if not seeds:
+                continue
+            spec = registered.batch.spec
+            query = registered.query
+            merged = self._values[qname]
+            scope: Set[Hashable] = set()
+            for key in seeds:
+                if key not in merged or not graph.has_node(key):
+                    continue
+                scope.add(key)
+                for dep in spec.dependents(key, graph, query):
+                    if dep in merged:
+                        scope.add(dep)
+            if not scope:
+                continue
+            state = FixpointState()
+            state.values = merged  # settle in place; changelog records ΔO
+            changelog = state.start_changelog()
+            try:
+                run_fixpoint(spec, graph, query, state=state, scope=scope)
+            finally:
+                state.stop_changelog()
+            changed: Set[Hashable] = set()
+            ch = changes.get(qname)
+            for key, old in changelog.items():
+                new = merged.get(key)
+                if old != new:
+                    changed.add(key)
+                    self._record(ch, key, old, new)
+            if changed:
+                settle_changed[qname] = changed
+                self.protocol_stats.add("settle_changes", len(changed))
+        return settle_changed
 
     def _pin_all_replicas(self, names: List[str]) -> List[Dict]:
         pending: List[Dict] = [dict() for _ in range(self.num_shards)]
@@ -827,6 +1091,7 @@ class ShardedSession:
         names = [qname for qname in names if qname in self._values]
         if not names:
             return
+        self.protocol_stats.add("full_resyncs")
         self.incidents.record(
             "full-resync",
             detail=f"re-evaluating {', '.join(names)} per fragment",
@@ -950,6 +1215,8 @@ class ShardedSession:
         session._queries = {}
         session._values = {}
         session._closed = False
+        session.protocol_stats = ProtocolStats()
+        session._owner_cache = {}
         session._shards = []
         for i in range(shards):
             shard_dir = base / SHARD_DIR.format(i)

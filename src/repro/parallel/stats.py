@@ -1,0 +1,132 @@
+"""Protocol telemetry for the sharded tier's scatter/gather rounds.
+
+PR 7's deletion path was measured, not guessed, at ~10 scatter
+round-trips per deletion window — but only by ad-hoc profiling.
+:class:`ProtocolStats` makes the coordination cost a first-class,
+always-on measurement: the router records every scatter (kind, fan-out,
+payload bytes), every suspect reset, every reset suppressed by the
+window-scoped dedup, and every exchange skipped outright by the
+``boundary_dirty`` termination rule.  The block is surfaced through
+``repro serve`` stats (``"protocol"``) and recorded per mix by
+``benchmarks/bench_serve.py``, whose ``--smoke`` mode gates
+scatters-per-deletion-window against a fixed ceiling in CI.
+
+Counters follow the serving tier's scrape-and-reset discipline: a
+``window`` block zeroed by ``snapshot(reset=True)`` plus a ``lifetime``
+block that only grows.  ("Window" here means *scrape window*, not a
+write window — every write window contributes to both.)
+
+All mutation happens on the router's single caller thread; the lock only
+exists so reader threads scraping ``stats`` see consistent snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+#: Counter keys, in display order.
+FIELDS = (
+    "windows",              # write windows routed
+    "deletion_windows",     # windows whose stream contained a deletion
+    "scatters",             # scatter round-trips (supersteps), all kinds
+    "deletion_scatters",    # scatters spent inside deletion windows
+    "apply_scatters",
+    "invalidate_scatters",
+    "reconcile_scatters",
+    "absorb_scatters",      # safety-net / registration / resync absorbs
+    "messages",             # per-shard requests across all scatters
+    "bytes_shipped",        # router→worker payload bytes (exact: the pickle)
+    "suspect_resets",       # variables actually reset by invalidation waves
+    "central_resets",       # merged-state resets by the router's recompute pass
+    "dup_suppressed",       # resets suppressed by the window seen-set
+    "skipped_exchanges",    # windows terminated after the apply scatter alone
+    "settle_changes",       # values the router-side settle re-derived
+    "full_resyncs",         # windows that fell back to a full resync
+)
+
+#: Per-round detail entries kept for the most recent window.
+_MAX_ROUNDS = 64
+
+
+def _zero() -> Dict[str, int]:
+    return {field: 0 for field in FIELDS}
+
+
+class ProtocolStats:
+    """Scatter/reset accounting for one :class:`ShardedSession`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._window = _zero()
+        self._lifetime = _zero()
+        #: ``[{"cmd", "shards", "bytes"}, ...]`` for the current window.
+        self._rounds: List[Dict[str, Any]] = []
+        self._in_deletion_window = False
+
+    # ------------------------------------------------------------------
+    # Recording (router thread only)
+    # ------------------------------------------------------------------
+    def begin_window(self, deletions: bool) -> None:
+        with self._lock:
+            self._rounds = []
+            self._in_deletion_window = deletions
+            for counters in (self._window, self._lifetime):
+                counters["windows"] += 1
+                if deletions:
+                    counters["deletion_windows"] += 1
+
+    def end_window(self) -> None:
+        with self._lock:
+            self._in_deletion_window = False
+
+    def scatter(self, cmd: str, shards: int, payload_bytes: int) -> None:
+        """One scatter round-trip of ``cmd`` to ``shards`` workers."""
+        kind = f"{cmd}_scatters"
+        with self._lock:
+            for counters in (self._window, self._lifetime):
+                counters["scatters"] += 1
+                counters["messages"] += shards
+                counters["bytes_shipped"] += payload_bytes
+                if kind in counters:
+                    counters[kind] += 1
+                if self._in_deletion_window:
+                    counters["deletion_scatters"] += 1
+            if len(self._rounds) < _MAX_ROUNDS:
+                self._rounds.append({"cmd": cmd, "shards": shards, "bytes": payload_bytes})
+
+    def add(self, field: str, count: int = 1) -> None:
+        if not count:
+            return
+        with self._lock:
+            self._window[field] += count
+            self._lifetime[field] += count
+
+    # ------------------------------------------------------------------
+    # Scraping (any thread)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _derive(counters: Dict[str, int]) -> Dict[str, Any]:
+        block: Dict[str, Any] = dict(counters)
+        windows = counters["deletion_windows"]
+        block["scatters_per_deletion_window"] = (
+            round(counters["deletion_scatters"] / windows, 3) if windows else 0.0
+        )
+        return block
+
+    def snapshot(self, reset: bool = False) -> Dict[str, Any]:
+        with self._lock:
+            window = self._derive(self._window)
+            lifetime = self._derive(self._lifetime)
+            rounds = list(self._rounds)
+            if reset:
+                self._window = _zero()
+        return {"window": window, "lifetime": lifetime, "last_window_rounds": rounds}
+
+    def __repr__(self) -> str:
+        with self._lock:
+            life = self._lifetime
+            return (
+                f"ProtocolStats(windows={life['windows']}, scatters={life['scatters']}, "
+                f"skipped={life['skipped_exchanges']})"
+            )

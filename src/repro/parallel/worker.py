@@ -10,13 +10,20 @@ the router (:mod:`repro.parallel.router`) speaks:
 ``register``              register a query; reply with owned values
 ``apply``                 apply a window of sub-batches (one per global
                           batch, possibly empty, so every shard's WAL
-                          seq advances in lockstep with the global seq)
+                          seq advances in lockstep with the global seq);
+                          opens a new protocol window (resets the
+                          window-scoped invalidation seen-sets)
 ``absorb``                fold authoritative boundary values in
                           (:meth:`DynamicGraphSession.absorb`)
 ``invalidate``            transitively reset values anchored on raised
-                          keys (phase 1 of the raise protocol)
-``refine``                monotone absorb + re-derivation of every key
-                          reset since the last refine (phase 2)
+                          keys (phase 1 of the raise protocol), deduped
+                          against the window's seen-set so each variable
+                          resets at most once per window on this shard
+``reconcile``             absorb the router-settled exact fixpoint
+                          values non-monotonically — raised pins trigger
+                          the local Figure-4 repair — and re-derive every
+                          key reset this window (``refine`` is the
+                          backward-compatible alias)
 ``export_owned``          owned slice of a query's fixpoint values
 ``export_fragment``       the fragment graph (recovery reassembly)
 ``peval``                 re-run the batch algorithm on the fragment
@@ -26,9 +33,15 @@ the router (:mod:`repro.parallel.router`) speaks:
 ========================  ============================================
 
 ``apply`` and ``absorb`` replies carry, per query, the *owned* changed
-values (fanned by the router to replica holders) and the *dirty
-replicas* — replica variables whose local value diverged from what the
-router last pinned.  Ownership is re-derived inside the worker from
+values (fanned by the router to replica holders), the *dirty replicas* —
+replica variables whose local value diverged from what the router last
+pinned — and a compact ``boundary_dirty`` digest: how many of those
+changed variables are *boundary-relevant* (the variable is a replica, or
+an owned variable with a non-owned neighbor, i.e. an endpoint of a cut
+edge).  When every shard reports ``boundary_dirty == 0`` and no suspects,
+no change this window can affect (or have been affected by) another
+fragment, and the router terminates the exchange without a confirming
+empty scatter.  Ownership is re-derived inside the worker from
 :func:`~repro.parallel.partition.stable_assign`, a pure function of
 ``(node, num_shards, seed)``, so router and workers always agree without
 shipping assignment tables.
@@ -47,6 +60,7 @@ from ..errors import ReproError
 from ..graph.graph import Graph
 from ..graph.updates import Batch, EdgeDeletion, VertexDeletion
 from ..resilience import SessionConfig
+from ..resilience.faults import inject
 from ..session import DynamicGraphSession
 from .partition import stable_assign
 
@@ -66,9 +80,25 @@ class ShardWorker:
         self.num_shards = num_shards
         self.seed = seed
         self.session = DynamicGraphSession(fragment, config)
-        #: Per-query keys reset by ``invalidate`` since the last refine —
-        #: the refine step's extra fixpoint scope.
+        self._reset_window_state()
+        #: Lifetime invariant counter: a variable whose value was reset by
+        #: two different invalidation rounds of the *same* window.  The
+        #: dedup seen-sets make this structurally impossible; tests assert
+        #: it stays zero (the dup-suppression property).
+        self.double_resets = 0
+        #: Lifetime count of resets the window seen-set suppressed.
+        self.dup_suppressed = 0
+
+    def _reset_window_state(self) -> None:
+        #: Per-query keys reset by ``invalidate`` since the window opened —
+        #: the reconcile step's extra fixpoint scope.
         self._scopes: Dict[str, set] = {}
+        #: Per-query window-scoped seen-set mirroring the router's send-side
+        #: dedup: keys already walked by an invalidation round this window.
+        self._window_seen: Dict[str, set] = {}
+        #: Per-query keys whose *value* actually reset this window (for the
+        #: double-reset invariant; a subset of ``_window_seen``).
+        self._window_reset: Dict[str, set] = {}
 
     @classmethod
     def recover(
@@ -85,12 +115,33 @@ class ShardWorker:
         worker.num_shards = num_shards
         worker.seed = seed
         worker.session = DynamicGraphSession.recover(directory, config)
-        worker._scopes = {}
+        worker._reset_window_state()
+        worker.double_resets = 0
+        worker.dup_suppressed = 0
         return worker
 
     # ------------------------------------------------------------------
     def owns(self, key: Hashable) -> bool:
         return stable_assign(key, self.num_shards, self.seed) == self.index
+
+    def _boundary_relevant(self, key: Hashable) -> bool:
+        """Whether ``key``'s value can flow across a fragment boundary.
+
+        A replica always can (its owner lives elsewhere).  An owned
+        variable can exactly when it is the endpoint of a cut edge — the
+        fragment holds *every* edge incident to an owned node, so "has a
+        non-owned neighbor" is a complete local test for "has (or reads)
+        a remote counterpart".
+        """
+        if not self.owns(key):
+            return True
+        graph = self.session.graph
+        if not graph.has_node(key):
+            return False
+        for neighbor in graph.neighbors(key):
+            if not self.owns(neighbor):
+                return True
+        return False
 
     def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Dispatch one command; never raises (errors travel in-band)."""
@@ -104,7 +155,12 @@ class ShardWorker:
             return {"ok": False, "error": exc}
 
     # ------------------------------------------------------------------
-    def _gather(self, results: Dict[str, Any], suspects: bool = False) -> Dict[str, Any]:
+    def _gather(
+        self,
+        results: Dict[str, Any],
+        suspects: bool = False,
+        digest: bool = False,
+    ) -> Dict[str, Any]:
         """Split each query's ΔO into owned changes and dirty replicas.
 
         ``suspects=True`` (raising windows: the sub-batches contained
@@ -114,7 +170,15 @@ class ShardWorker:
         silently stale (the replica's owner is retracting it in another
         fragment right now, and fragment-local clocks cannot contradict
         it), so the router treats the whole scope as suspect and runs the
-        invalidate/refine protocol over it.
+        invalidate/reconcile protocol over it.  The scope is reported
+        *only* when it touches the fragment boundary: staleness can only
+        enter through a replica read, and any scope key that read a
+        replica has it as a neighbor, so a scope with no boundary-relevant
+        key repaired from purely-local, trustworthy support.
+
+        ``digest=True`` adds the per-query ``boundary_dirty`` count — how
+        many changed variables are boundary-relevant — the router's
+        exchange-skipping termination signal.
         """
         queries: Dict[str, Any] = {}
         session = self.session
@@ -133,8 +197,16 @@ class ShardWorker:
                 "dirty": dirty,
                 "quarantined": bool(registered is not None and registered.quarantined),
             }
+            if digest:
+                boundary_dirty = len(dirty)  # replicas are always boundary
+                for key in owned:
+                    if self._boundary_relevant(key):
+                        boundary_dirty += 1
+                queries[name]["boundary_dirty"] = boundary_dirty
             if suspects:
-                queries[name]["suspect"] = list(getattr(result, "scope", ()))
+                scope = getattr(result, "scope", ())
+                if any(self._boundary_relevant(key) for key in scope):
+                    queries[name]["suspect"] = list(scope)
         return {"seq": session.seq, "queries": queries}
 
     def _owned_values(self, name: str) -> Dict[Hashable, Any]:
@@ -161,8 +233,12 @@ class ShardWorker:
             for batch in batches
             for op in batch
         )
+        # A new apply opens a new protocol window: the invalidation
+        # seen-sets (and any reconcile scope a skipped exchange left
+        # behind) belong to the previous window.
+        self._reset_window_state()
         results = self.session.update_stream(batches)
-        return self._gather(results, suspects=raising)
+        return self._gather(results, suspects=raising, digest=True)
 
     def _cmd_absorb(self, request: Dict[str, Any]) -> Dict[str, Any]:
         results = self.session.absorb(
@@ -171,19 +247,51 @@ class ShardWorker:
         return self._gather(results)
 
     def _cmd_invalidate(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Phase 1 of the raise protocol: transitive reset, no re-derive."""
-        results = self.session.invalidate(request["assignments"])
+        """Phase 1 of the raise protocol: transitive reset, no re-derive.
+
+        Resets are deduped against the window's seen-set (a key is walked
+        at most once per window on this shard); the reply carries the
+        suppressed count so the router's telemetry can prove the dedup is
+        doing work.
+        """
+        for name in request["assignments"]:
+            self._window_seen.setdefault(name, set())
+        results = self.session.invalidate(
+            request["assignments"], already=self._window_seen
+        )
+        dups = 0
         for name, result in results.items():
             self._scopes.setdefault(name, set()).update(result.scope)
-        return self._gather(results)
+            dups += getattr(result, "dup_suppressed", 0)
+            reset = self._window_reset.setdefault(name, set())
+            for key in result.changes:
+                if key in reset:  # pragma: no cover - guarded by the dedup
+                    self.double_resets += 1
+                reset.add(key)
+        self.dup_suppressed += dups
+        reply = self._gather(results)
+        reply["dup_suppressed"] = dups
+        return reply
 
-    def _cmd_refine(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Phase 2: monotone absorb + re-derivation of every reset key."""
+    def _cmd_reconcile(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Final phase: absorb the router-settled exact fixpoint values.
+
+        Non-monotone on purpose: a pin that *raises* a local value means
+        this fragment never saw that retraction (the single invalidation
+        scatter only carries suspects known at apply time), so the local
+        Figure-4 repair runs — reset everything anchored on the raised
+        keys, then re-derive with the pins trusted.  Every value the
+        repair can read across the boundary is pinned exact, so the
+        fragment lands exactly on the shipped global fixpoint."""
+        inject("shard.reconcile")
         scopes, self._scopes = self._scopes, {}
         results = self.session.absorb(
-            request["assignments"], monotone=True, scopes=scopes
+            request["assignments"], monotone=False, scopes=scopes
         )
         return self._gather(results)
+
+    #: Backward-compatible alias: PR 7's refine verb is the same absorb.
+    _cmd_refine = _cmd_reconcile
 
     def _cmd_export_owned(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {name: self._owned_values(name) for name in request["names"]}

@@ -24,6 +24,8 @@ Site                         Fires
 ``engine.fixpoint``          on entry to :func:`~repro.core.engine.run_fixpoint`
 ``wal.mid-append``           between the two halves of a WAL record (torn write)
 ``checkpoint.mid-write``     after the temp file is written, before the rename
+``shard.reconcile``          inside the sharded tier's batched exchange: on a
+                             worker, before absorbing the router-settled values
 ===========================  ====================================================
 
 Plans can also be armed process-wide through the ``REPRO_FAULTS``
@@ -62,6 +64,7 @@ KNOWN_SITES = frozenset(
         "engine.fixpoint",
         "wal.mid-append",
         "checkpoint.mid-write",
+        "shard.reconcile",
     }
 )
 

@@ -112,10 +112,17 @@ class _Writer:
     each writer's own inserts/deletes consistent with the live graph.
     """
 
-    def __init__(self, node: Any, base_nodes: List[Any], rng: random.Random) -> None:
+    def __init__(
+        self,
+        node: Any,
+        base_nodes: List[Any],
+        rng: random.Random,
+        delete_bias: float = 0.4,
+    ) -> None:
         self.node = node
         self.base_nodes = base_nodes
         self.rng = rng
+        self.delete_bias = delete_bias
         self.edges: Dict[Tuple[Any, Any], float] = {}
         self.introduced = False
 
@@ -124,7 +131,7 @@ class _Writer:
             self.introduced = True
             return [VertexInsertion(self.node)]
         rng = self.rng
-        if self.edges and (rng.random() < 0.4 or len(self.edges) > 12):
+        if self.edges and (rng.random() < self.delete_bias or len(self.edges) > 12):
             edge = rng.choice(list(self.edges))
             del self.edges[edge]
             return [EdgeDeletion(*edge)]
@@ -156,6 +163,7 @@ def run_load(
     write_deadline: Optional[float] = None,
     record: bool = True,
     max_writes: Optional[int] = None,
+    delete_bias: float = 0.4,
 ) -> LoadReport:
     """Drive mixed read/write load against a running server.
 
@@ -164,6 +172,9 @@ def run_load(
     the graph nodes writers attach their private edges to (default: the
     node ``0``...``9`` range is *not* assumed — pass real node ids).
     ``max_writes`` caps the total writes issued (e.g. a 500-op stream).
+    ``delete_bias`` is each writer's probability of deleting one of its
+    live edges instead of inserting (default 0.4; raise it for
+    deletion-heavy mixes that stress the sharded raise protocol).
     """
     if mode not in ("closed", "open"):
         raise ReproError(f"unknown load mode {mode!r}")
@@ -189,7 +200,9 @@ def run_load(
 
     def worker(tid: int) -> None:
         rng = random.Random((seed << 8) ^ tid)
-        writer = _Writer(_private_node(tid, seed, base_nodes), base_nodes, rng)
+        writer = _Writer(
+            _private_node(tid, seed, base_nodes), base_nodes, rng, delete_bias=delete_bias
+        )
         can_write = True
         client = ServiceClient(host, port, timeout=max(10.0, duration * 4))
         interval = threads / rate if rate else 0.0

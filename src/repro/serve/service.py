@@ -335,7 +335,7 @@ class QueryService:
             lifetime = dict(self._lifetime)
             if reset_window:
                 self._counters = self._zero_counters()
-        return {
+        report = {
             "uptime": monotonic() - self._started,
             "seq": self.session.seq,
             "closing": self._closing.is_set(),
@@ -352,6 +352,12 @@ class QueryService:
             "queries": self.store.as_dict(),
             "incidents": len(self.session.incidents),
         }
+        # The sharded tier's scatter/reset telemetry, when the session is
+        # a router (single-writer sessions have no exchange protocol).
+        protocol = getattr(self.session, "protocol_stats", None)
+        if protocol is not None:
+            report["protocol"] = protocol.snapshot(reset=reset_window)
+        return report
 
     # ------------------------------------------------------------------
     # Writer thread

@@ -417,7 +417,9 @@ class DynamicGraphSession:
 
     @guarded_mutation("session.invalidate")
     def invalidate(
-        self, assignments: Dict[str, Iterable[Hashable]]
+        self,
+        assignments: Dict[str, Iterable[Hashable]],
+        already: Optional[Dict[str, set]] = None,
     ) -> Dict[str, IncrementalResult]:
         """Transitively reset values anchored on retracted boundary keys.
 
@@ -427,6 +429,12 @@ class DynamicGraphSession:
         re-derivation (:func:`repro.parallel.boundary.invalidate_values`)
         — the first phase of the router's raise protocol; the matching
         refine phase is :meth:`absorb` with ``scopes``.
+
+        ``already`` optionally maps query name → the window-scoped set of
+        keys previous invalidation rounds already reset; those are skipped
+        (and counted) rather than re-walked, and newly reset keys are
+        added to the set in place — see
+        :func:`~repro.parallel.boundary.invalidate_values`.
         """
         from .parallel.boundary import invalidate_values
 
@@ -434,7 +442,12 @@ class DynamicGraphSession:
         for name, keys in assignments.items():
             registered, spec = self._sharded_query(name)
             results[name] = invalidate_values(
-                spec, registered.graph, registered.state, keys, registered.query
+                spec,
+                registered.graph,
+                registered.state,
+                keys,
+                registered.query,
+                already=already.get(name) if already is not None else None,
             )
             if hasattr(registered.incremental, "_kernel_ctx"):
                 registered.incremental._kernel_ctx = None

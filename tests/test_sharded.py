@@ -173,6 +173,119 @@ class TestDifferentialEquivalence:
         single.close()
 
 
+class TestBoundaryFlapProtocol:
+    """Adversarial boundary flapping: delete/reinsert cut edges.
+
+    Beyond differential equivalence, these assert the deletion
+    protocol's cost contract: at most one reset per variable per window
+    on every replica holder (``double_resets == 0``), duplicate suspects
+    suppressed by the window seen-set, and apply + invalidate +
+    reconcile = at most 3 scatter round-trips per deletion window.
+    """
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(st.sampled_from(["delete", "reinsert", "both"]), min_size=4, max_size=10),
+    )
+    def test_cut_edge_flaps_match_and_reset_once(self, seed, moves):
+        g = random_graph(random.Random(0), 0, 0, directed=False)
+        for v in range(12):
+            g.ensure_node(v)
+        path = [(v, v + 1) for v in range(11)]
+        for u, v in path:
+            g.add_edge(u, v, weight=1.0)
+        single, sharded = make_pair(g, shards=3, seed=seed)
+        sharded.protocol_stats.snapshot(reset=True)
+        rng = random.Random(seed)
+        # Flap edges that straddle shard boundaries: every reset chain
+        # the deletion triggers must cross fragments.
+        owner = lambda v: sharded._owner(v)
+        cut_edges = [e for e in path if owner(e[0]) != owner(e[1])] or path
+        live = set(path)
+        try:
+            for step, move in enumerate(moves):
+                ops = []
+                if move in ("delete", "both"):
+                    victims = [e for e in cut_edges if e in live]
+                    if victims:
+                        e = rng.choice(victims)
+                        live.discard(e)
+                        ops.append(EdgeDeletion(*e))
+                if move in ("reinsert", "both"):
+                    missing = [e for e in path if e not in live]
+                    if missing:
+                        e = rng.choice(missing)
+                        live.add(e)
+                        ops.append(EdgeInsertion(*e, weight=1.0))
+                if not ops:
+                    continue
+                batch = Batch(ops)
+                single.update(batch)
+                sharded.update(batch)
+                assert_equivalent(single, sharded, f"seed {seed} step {step} {move}")
+            # Cost contract: no variable reset twice in one window on any
+            # shard, and a deletion window never exceeds 3 round-trips.
+            assert all(shard.worker.double_resets == 0 for shard in sharded._shards)
+            life = sharded.protocol_stats.snapshot()["lifetime"]
+            if life["deletion_windows"]:
+                assert life["scatters_per_deletion_window"] <= 3.0
+            assert life["full_resyncs"] == 0
+        finally:
+            sharded.close()
+            single.close()
+
+    def test_insert_only_window_skips_exchange(self):
+        # An update with no boundary effect terminates after the apply
+        # scatter alone: workers report boundary_dirty == 0 and the
+        # router records a skipped exchange instead of a confirming
+        # empty round-trip.
+        g = random_graph(random.Random(0), 0, 0, directed=False)
+        for v in range(9):
+            g.ensure_node(v)
+        for v in range(8):
+            g.add_edge(v, v + 1, weight=1.0)
+        single, sharded = make_pair(g, shards=3)
+        sharded.protocol_stats.snapshot(reset=True)
+        # An isolated vertex changes only its own (non-boundary) values:
+        # no fragment can observe it from across a cut edge.
+        batch = Batch([VertexInsertion(100, None, ())])
+        try:
+            single.update(batch)
+            sharded.update(batch)
+            assert_equivalent(single, sharded, "after isolated insert")
+            window = sharded.protocol_stats.snapshot()["window"]
+            assert window["skipped_exchanges"] == 1
+            assert window["windows"] == 1
+            assert window["scatters"] == window["apply_scatters"] == 1
+        finally:
+            sharded.close()
+            single.close()
+
+
+class TestExchangeFaults:
+    def test_crash_inside_reconcile_surfaces_as_sharding_error(self):
+        # A worker dying mid-reconcile (after the wave already mutated
+        # local state) must surface in-band as a ShardingError with an
+        # incident recorded, not hang the exchange or corrupt the reply
+        # pipeline.
+        from repro.resilience.faults import injected
+
+        g = random_graph(random.Random(0), 0, 0, directed=False)
+        for v in range(10):
+            g.ensure_node(v)
+        for v in range(9):
+            g.add_edge(v, v + 1, weight=1.0)
+        single, sharded = make_pair(g, shards=3)
+        try:
+            with injected("shard.reconcile"):
+                with pytest.raises(ShardingError):
+                    sharded.update(Batch([EdgeDeletion(4, 5)]))
+            assert sharded.incidents.by_kind("shard-error")
+        finally:
+            sharded.close()
+            single.close()
+
+
 class TestProcessMode:
     def test_two_worker_processes_smoke(self):
         rng = random.Random(23)
