@@ -11,96 +11,35 @@ so repeated benchmark rounds only pay for copies.
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import subprocess
 from functools import lru_cache
-from pathlib import Path
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.runners import ALL_SETUPS, undirected_view
 from repro.datasets import load as load_dataset
+from repro.evalhub import Registry, RunRecord
+from repro.evalhub import host_record as host_record  # noqa: F401  (re-export)
 from repro.generators import random_updates
 from repro.graph import Graph, TemporalGraph
 
 SCALE = 0.5
 
-#: Version of the shared ``BENCH_*.json`` envelope written by
-#: :func:`record_results`.  Bump when the envelope (not a suite's
-#: per-entry fields) changes shape.
-RECORD_SCHEMA = 3
-
-
-def host_record() -> Dict[str, Any]:
-    """Provenance for a benchmark run: interpreter, host, and git sha.
-
-    Recorded once per file so throughput numbers from different PRs can
-    be compared with their environment in view.  The git sha is best
-    effort — absent when the tree is not a checkout (e.g. an sdist).
-    """
-    record: Dict[str, Any] = {
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "platform": platform.platform(),
-        "cpus": os.cpu_count(),
-        # cpu_count() is the host's core count; the scheduler may pin
-        # this process to fewer (CI containers often do).  Shard-sweep
-        # rows are only comparable with the *effective* parallelism in
-        # view — a 1-core run makes 8 shards pure overhead.
-        "available_cpus": (
-            len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity")
-            else os.cpu_count()
-        ),
-    }
-    try:
-        record["git_sha"] = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=Path(__file__).resolve().parent,
-            capture_output=True,
-            text=True,
-            timeout=10,
-            check=True,
-        ).stdout.strip()
-    except Exception:
-        record["git_sha"] = None
-    return record
-
 
 def record_results(
-    out: Path,
     suite: str,
     results: List[Dict[str, Any]],
     *,
-    legacy_run: int = 1,
-) -> int:
-    """Append ``results`` to the append-only ledger at ``out``.
+    tag: Optional[str] = None,
+    scale: str = "full",
+    root=None,
+) -> RunRecord:
+    """Append ``results`` as one tagged run to the suite's registry ledger.
 
-    Every ``BENCH_*.json`` file shares this envelope: ``schema`` /
-    ``suite`` / ``host`` (see :func:`host_record`) / ``results``, where
-    each result row carries a ``run`` number so the trajectory across
-    PRs stays visible.  Earlier rows are kept verbatim; rows written
-    before run-tagging existed are tagged ``legacy_run`` (each suite
-    knows which PR its untagged baseline came from).  Returns the run
-    number assigned to the new rows.
+    The per-file envelope/host-record plumbing that used to live here
+    (and was copied between ``bench_kernels.py`` and ``bench_serve.py``)
+    now lives in :class:`repro.evalhub.Registry`; this wrapper only
+    keeps the benchmark scripts free of registry wiring.
     """
-    existing: List[Dict[str, Any]] = []
-    if out.exists():
-        existing = json.loads(out.read_text()).get("results", [])
-        for entry in existing:
-            entry.setdefault("run", legacy_run)
-    run = max((entry["run"] for entry in existing), default=legacy_run - 1) + 1
-    for entry in results:
-        entry["run"] = run
-    payload = {
-        "schema": RECORD_SCHEMA,
-        "suite": suite,
-        "host": host_record(),
-        "results": existing + results,
-    }
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    return run
+    return Registry(root=root).append(suite, results, tag=tag, scale=scale)
 
 
 @lru_cache(maxsize=None)

@@ -32,10 +32,11 @@ default (full)
     Every timed configuration also asserts value equality between the
     engines, so the recorded speedups are for identical answers.
 
-The JSON file is append-only across PRs: each invocation re-reads the
-existing file, tags entries that predate tagging with ``run = 2`` (the
-PR 2 baseline), and appends its own results under the next run number,
-so the speedup trajectory stays visible.
+Results are appended to the run registry at ``benchmarks/results/``
+(see ``docs/evaluation.md``): each invocation becomes one tagged run in
+the suite's append-only ledger, so the speedup trajectory across PRs
+stays visible.  ``repro bench run kernels`` drives the same suite at
+named scales.
 """
 
 from __future__ import annotations
@@ -44,7 +45,6 @@ import argparse
 import sys
 import time
 from collections import defaultdict
-from pathlib import Path
 
 from _shared import record_results
 
@@ -315,28 +315,31 @@ def smoke() -> int:
     return 0
 
 
+def run_full(edges_sweep=(10_000, 100_000), ops: int = 300, repeats: int = 5):
+    """The timed suite at the given sweep; returns registry rows."""
+    results = []
+    for edges in edges_sweep:
+        bench_batch(results, edges, repeats)
+        bench_incremental(results, edges, ops=ops)
+    return results
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="fast CI equality gate")
     parser.add_argument("--repeats", type=int, default=5, help="timing repeats (best-of)")
     parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
-        help="output JSON path (full mode)",
+        "--edges", type=int, nargs="*", default=[10_000, 100_000], help="edge-count sweep"
     )
+    parser.add_argument("--ops", type=int, default=300, help="unit updates per stream")
+    parser.add_argument("--tag", default=None, help="registry run tag")
     args = parser.parse_args()
     if args.smoke:
         return smoke()
 
-    results = []
-    for edges in (10_000, 100_000):
-        bench_batch(results, edges, args.repeats)
-        bench_incremental(results, edges, ops=300)
-
-    # Untagged rows predate run-tagging and came from the PR 2 baseline.
-    run = record_results(args.out, "kernels", results, legacy_run=2)
-    print(f"wrote {args.out} (run {run})")
+    results = run_full(tuple(args.edges), ops=args.ops, repeats=args.repeats)
+    record = record_results("kernels", results, tag=args.tag)
+    print(f"recorded kernels run {record.run}" + (f" [{record.tag}]" if record.tag else ""))
     return 0
 
 

@@ -37,8 +37,10 @@ default (full)
     skipped exchanges, dup-suppressed resets, bytes shipped).  Every mix
     is gated on zero isolation violations, and a ``split_micro`` row
     times the router's memoized ownership lookup against raw
-    ``stable_assign``.  The JSON file is append-only across PRs (see
-    ``benchmarks/_shared.record_results``).
+    ``stable_assign``.  Results are appended as one tagged run to the
+    registry ledger at ``benchmarks/results/serve.json`` (see
+    ``docs/evaluation.md``); ``repro bench run serve`` drives the same
+    suite at named scales.
 
     Caveat for reading the shard sweep: sharding buys wall-clock
     throughput only when worker processes run on distinct cores.  On a
@@ -52,7 +54,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from pathlib import Path
 
 from _shared import record_results
 
@@ -193,7 +194,9 @@ def _check_entry(name: str, entry, violations) -> bool:
 SMOKE_SCATTER_CEILING = 3.5
 
 
-def smoke() -> int:
+def smoke(duration: float = 2.0, collect=None) -> int:
+    """The CI gate.  ``collect`` (a list) receives the measured rows so
+    ``repro bench run serve --scale smoke`` can record the checked run."""
     for shards in (1, 2):
         graph, service, server = start_server(edges=400, shards=shards)
         try:
@@ -204,12 +207,14 @@ def smoke() -> int:
                 name="smoke",
                 shards=shards,
                 read_fraction=0.8,
-                duration=2.0,
+                duration=duration,
                 threads=8,
                 seed=17,
             )
             if not _check_entry(f"smoke shards={shards}", entry, violations):
                 return 1
+            if collect is not None:
+                collect.append(entry)
             if shards > 1:
                 deletion, violations = run_mix(
                     server,
@@ -218,13 +223,15 @@ def smoke() -> int:
                     name="smoke_delete",
                     shards=shards,
                     read_fraction=0.5,
-                    duration=2.0,
+                    duration=duration,
                     threads=8,
                     seed=23,
                     delete_bias=0.75,
                 )
                 if not _check_entry(f"smoke_delete shards={shards}", deletion, violations):
                     return 1
+                if collect is not None:
+                    collect.append(deletion)
                 if deletion["deletion_windows"] == 0:
                     print(
                         "FAIL: deletion-heavy smoke produced no deletion windows",
@@ -300,33 +307,23 @@ def split_micro(edges: int = 2_000, shards: int = 4, repeats: int = 50):
     return entry
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="fast CI isolation gate")
-    parser.add_argument("--duration", type=float, default=4.0, help="seconds per mix")
-    parser.add_argument("--threads", type=int, default=8, help="client threads")
-    parser.add_argument("--edges", type=int, default=2_000, help="base graph size")
-    parser.add_argument(
-        "--shards",
-        type=int,
-        nargs="*",
-        default=list(SHARD_SWEEP),
-        help="shard counts to sweep (full mode)",
-    )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
-        help="output JSON path (full mode)",
-    )
-    args = parser.parse_args()
-    if args.smoke:
-        return smoke()
+def run_full(
+    shards_sweep=SHARD_SWEEP,
+    duration: float = 4.0,
+    threads: int = 8,
+    edges: int = 2_000,
+    with_split_micro: bool = True,
+):
+    """The timed shard × mix sweep; returns registry rows.
 
+    Raises :class:`RuntimeError` when any mix fails its isolation or
+    degenerate-load check — a sweep with torn reads must never be
+    recorded as a performance number.
+    """
     results = []
     seed = 29
-    for shards in args.shards:
-        graph, service, server = start_server(edges=args.edges, shards=shards)
+    for shards in shards_sweep:
+        graph, service, server = start_server(edges=edges, shards=shards)
         try:
             for name, read_fraction, delete_bias in (
                 ("read_heavy", 0.95, 0.4),
@@ -340,14 +337,14 @@ def main() -> int:
                     name=name,
                     shards=shards,
                     read_fraction=read_fraction,
-                    duration=args.duration,
-                    threads=args.threads,
+                    duration=duration,
+                    threads=threads,
                     seed=seed,
                     delete_bias=delete_bias,
                 )
                 seed += 1
                 if not _check_entry(f"{name} shards={shards}", entry, violations):
-                    return 1
+                    raise RuntimeError(f"{name} shards={shards} failed its checks")
                 results.append(entry)
         finally:
             server.stop()
@@ -364,10 +361,42 @@ def main() -> int:
             ratio = entry["throughput_ops_s"] / baseline["throughput_ops_s"]
             print(f"  shards={entry['shards']}: {ratio:5.2f}x")
 
-    results.append(split_micro(edges=args.edges))
+    if with_split_micro:
+        results.append(split_micro(edges=edges))
+    return results
 
-    run = record_results(args.out, "serve", results)
-    print(f"wrote {args.out} (run {run})")
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="fast CI isolation gate")
+    parser.add_argument("--duration", type=float, default=4.0, help="seconds per mix")
+    parser.add_argument("--threads", type=int, default=8, help="client threads")
+    parser.add_argument("--edges", type=int, default=2_000, help="base graph size")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="*",
+        default=list(SHARD_SWEEP),
+        help="shard counts to sweep (full mode)",
+    )
+    parser.add_argument("--tag", default=None, help="registry run tag")
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+
+    try:
+        results = run_full(
+            tuple(args.shards),
+            duration=args.duration,
+            threads=args.threads,
+            edges=args.edges,
+        )
+    except RuntimeError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    record = record_results("serve", results, tag=args.tag)
+    print(f"recorded serve run {record.run}" + (f" [{record.tag}]" if record.tag else ""))
     return 0
 
 

@@ -73,9 +73,24 @@ def table1(scale: float = 0.5) -> ExperimentResult:
 
         inc = setup.inc_factory()
         inc_graph = graph.copy()
-        _, inc_seconds = time_call(inc.apply, inc_graph, state, delta, query)
+        inc_result, inc_seconds = time_call(inc.apply, inc_graph, state, delta, query)
 
         result.rows.append([name, batch_seconds, competitor_seconds, inc_seconds])
+        result.records.append(
+            {
+                "name": f"table1_{name}",
+                "query_class": name,
+                "dataset": "FS",
+                "changed": delta.size,
+                "aff": getattr(inc_result, "affected_size", None),
+                "batch_ms": round(batch_seconds * 1e3, 3),
+                "competitor_ms": round(competitor_seconds * 1e3, 3),
+                "inc_ms": round(inc_seconds * 1e3, 3),
+                "speedup_vs_batch": round(batch_seconds / inc_seconds, 3)
+                if inc_seconds
+                else None,
+            }
+        )
     result.notes.append("paper: SSSP 4.57/1.56/0.88s; Sim 4.86/1.03/0.98s; LCC 78.1/18.6/12.0s")
     return result
 
@@ -103,6 +118,8 @@ def exp1_unit_updates(
         after_ins = updated_copy(graph, insertions)
         deletions = random_updates(after_ins, n_updates, insert_fraction=0.0, seed=22)
 
+        aff_sizes: List[int] = []
+
         def measure(algo_kind: str) -> List[float]:
             work = graph.copy()
             times: List[float] = []
@@ -110,8 +127,11 @@ def exp1_unit_updates(
                 inc = setup.inc_factory()
                 state = setup.batch_factory().run(work, query)
                 for batch in list(insertions.unit_batches()) + list(deletions.unit_batches()):
-                    _, seconds = time_call(inc.apply, work, state, batch, query)
+                    res, seconds = time_call(inc.apply, work, state, batch, query)
                     times.append(seconds)
+                    aff = getattr(res, "affected_size", None)
+                    if aff is not None:
+                        aff_sizes.append(aff)
             else:
                 comp = setup.competitor_for_unit_updates()
                 comp.build(work, query)
@@ -123,14 +143,27 @@ def exp1_unit_updates(
         inc_times = measure("inc")
         comp_times = measure("comp")
         half = n_updates
-        result.rows.append(
-            [
-                name,
-                1e3 * statistics.mean(inc_times[:half]),
-                1e3 * statistics.mean(comp_times[:half]),
-                1e3 * statistics.mean(inc_times[half:]),
-                1e3 * statistics.mean(comp_times[half:]),
-            ]
+        inc_ins_ms = 1e3 * statistics.mean(inc_times[:half])
+        comp_ins_ms = 1e3 * statistics.mean(comp_times[:half])
+        inc_del_ms = 1e3 * statistics.mean(inc_times[half:])
+        comp_del_ms = 1e3 * statistics.mean(comp_times[half:])
+        result.rows.append([name, inc_ins_ms, comp_ins_ms, inc_del_ms, comp_del_ms])
+        result.records.append(
+            {
+                "name": f"fig6_{query_class}_{name}",
+                "query_class": query_class,
+                "dataset": name,
+                "n_updates": n_updates,
+                "changed": 1,  # unit updates: |ΔG| = 1 per apply
+                "aff_mean": round(statistics.mean(aff_sizes), 1) if aff_sizes else None,
+                "aff_max": max(aff_sizes, default=None),
+                "inc_ins_ms": round(inc_ins_ms, 4),
+                "comp_ins_ms": round(comp_ins_ms, 4),
+                "inc_del_ms": round(inc_del_ms, 4),
+                "comp_del_ms": round(comp_del_ms, 4),
+                "ins_speedup": round(comp_ins_ms / inc_ins_ms, 3) if inc_ins_ms else None,
+                "del_speedup": round(comp_del_ms / inc_del_ms, 3) if inc_del_ms else None,
+            }
         )
     return result
 
@@ -205,7 +238,7 @@ def exp2_vary_delta(
 
         inc = setup.inc_factory()
         g1, s1 = graph.copy(), base_state.copy()
-        _, inc_seconds = time_call(inc.apply, g1, s1, delta, query)
+        inc_result, inc_seconds = time_call(inc.apply, g1, s1, delta, query)
 
         loop = UnitLoop(setup.inc_factory())
         g2, s2 = graph.copy(), base_state.copy()
@@ -216,6 +249,26 @@ def exp2_vary_delta(
         _, comp_seconds = time_call(comp.apply, delta)
 
         result.rows.append([100 * pct, batch_seconds, inc_seconds, loop_seconds, comp_seconds])
+        result.records.append(
+            {
+                "name": f"fig7_{query_class}_{dataset}",
+                "query_class": query_class,
+                "dataset": dataset,
+                "delta_pct": 100 * pct,
+                "changed": delta.size,
+                "aff": getattr(inc_result, "affected_size", None),
+                "batch_ms": round(batch_seconds * 1e3, 3),
+                "inc_ms": round(inc_seconds * 1e3, 3),
+                "loop_ms": round(loop_seconds * 1e3, 3),
+                "competitor_ms": round(comp_seconds * 1e3, 3),
+                "speedup_vs_batch": round(batch_seconds / inc_seconds, 3)
+                if inc_seconds
+                else None,
+                "speedup_vs_loop": round(loop_seconds / inc_seconds, 3)
+                if inc_seconds
+                else None,
+            }
+        )
     return result
 
 
@@ -343,6 +396,18 @@ def exp4_memory(scale: float = 0.3) -> ExperimentResult:
 
         mb = 1.0 / (1024 * 1024)
         result.rows.append([name, batch_bytes * mb, inc_bytes * mb, max(0.0, comp_bytes * mb)])
+        result.records.append(
+            {
+                "name": f"fig8_{name}",
+                "query_class": name,
+                "dataset": "OKT",
+                "changed": delta.size,
+                "batch_mb": round(batch_bytes * mb, 4),
+                "inc_mb": round(inc_bytes * mb, 4),
+                "competitor_mb": round(max(0.0, comp_bytes * mb), 4),
+                "inc_over_batch": round(inc_bytes / batch_bytes, 3) if batch_bytes else None,
+            }
+        )
     result.notes.append("deducible IncSSSP/IncDFS/IncLCC ≈ batch; weakly deducible add timestamps")
     return result
 
@@ -369,6 +434,18 @@ def ablation_scope(scale: float = 0.3, samples: int = 6) -> ExperimentResult:
         ratio = naive.total_accesses / max(1, smart.total_accesses)
         kind = type(delta[0]).__name__
         result.rows.append([f"{kind} #{i}", smart.total_accesses, naive.total_accesses, ratio])
+        result.records.append(
+            {
+                "name": f"ablation_scope_{i}",
+                "dataset": "OKT",
+                "update": kind,
+                "changed": 1,
+                "aff": smart.affected_size,
+                "smart_accesses": smart.total_accesses,
+                "naive_accesses": naive.total_accesses,
+                "access_ratio": round(ratio, 2),
+            }
+        )
     result.notes.append("Example-2 reset floods whole components; Figure-4 h stays in AFF")
     return result
 

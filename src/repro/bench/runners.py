@@ -8,7 +8,6 @@ with, and how to derive the query from a graph.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -18,6 +17,7 @@ from ..generators.patterns import random_pattern
 from ..generators.random_graphs import largest_component_root
 from ..graph.graph import Graph
 from ..metrics.timers import time_call
+from .tables import geometric_mean  # noqa: F401  (canonical home; re-exported)
 
 
 @dataclass
@@ -115,10 +115,3 @@ def time_batch(setup: QueryClassSetup, graph: Graph, query: Any) -> float:
     algo = setup.batch_factory()
     _state, seconds = time_call(algo.run, graph, query)
     return seconds
-
-
-def geometric_mean(values) -> float:
-    values = [v for v in values if v > 0]
-    if not values:
-        return 0.0
-    return math.exp(sum(math.log(v) for v in values) / len(values))

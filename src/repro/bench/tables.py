@@ -1,9 +1,24 @@
-"""Plain-text table rendering for the experiment harness."""
+"""Table rendering and summary-statistic helpers.
+
+One code path formats every table in the project: the terminal tables
+of ``python -m repro.bench``, the markdown of ``reproduction_run.md``,
+and the registry trend reports of ``repro bench report``
+(:mod:`repro.evalhub.report`).
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, List, Sequence
+
+
+def geometric_mean(values) -> float:
+    """Geomean of the positive entries (zeros/negatives dropped)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def _cell(value: Any) -> str:
@@ -40,14 +55,33 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: s
     return "\n".join(parts)
 
 
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a GitHub-flavoured markdown table (cells via :func:`_cell`)."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "---|" * len(headers),
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(x) for x in row) + " |")
+    return "\n".join(lines)
+
+
 @dataclass
 class ExperimentResult:
-    """A rendered experiment: title, table, and free-form notes."""
+    """A rendered experiment: title, table, and free-form notes.
+
+    ``records`` carries the same measurements as flat registry rows
+    (metric fields plus |CHANGED|/|AFF| counter blocks where the
+    experiment knows them) so the evaluation hub can append an
+    experiment run to ``benchmarks/results/`` without re-parsing the
+    human-facing table.
+    """
 
     title: str
     headers: Sequence[str]
     rows: List[Sequence[Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    records: List[dict] = field(default_factory=list)
 
     def format(self) -> str:
         text = format_table(self.headers, self.rows, title=f"== {self.title} ==")

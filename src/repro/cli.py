@@ -9,6 +9,9 @@ Usage (also via ``python -m repro``):
     python -m repro recover DIR            # rebuild a crashed session (sharded or plain)
     python -m repro audit DIR              # σ_A invariant audit (exit 1 if dirty)
     python -m repro serve GRAPH --shards N # sharded multi-process serving tier
+    python -m repro bench run SUITE...     # record a benchmark run in the registry
+    python -m repro bench report           # render trend tables -> docs/RESULTS.md
+    python -m repro bench gate             # regression gate (exit 1 on breach)
 
 ``GRAPH`` is an edge-list file (``u v [weight]``), a labeled edge list
 (autodetected via ``--labeled``), or a dataset name prefixed with ``@``
@@ -353,6 +356,80 @@ def cmd_lint(args) -> int:
     return 0 if report.clean else 1
 
 
+def _bench_registry(args):
+    from pathlib import Path
+
+    from .evalhub import Registry
+
+    root = Path(args.results_dir) if getattr(args, "results_dir", None) else None
+    return Registry(root=root)
+
+
+def cmd_bench_run(args) -> int:
+    from .evalhub import run_suite
+    from .evalhub.suites import SUITES
+
+    registry = _bench_registry(args)
+    scale = "smoke" if args.smoke else args.scale
+    unknown = [name for name in args.suites if name not in SUITES]
+    if unknown:
+        raise ReproError(
+            f"unknown suite(s) {', '.join(unknown)}; available: {', '.join(sorted(SUITES))}"
+        )
+    for name in args.suites:
+        print(f"running suite {name!r} at scale {scale!r} ...", flush=True)
+        rows = run_suite(name, scale)
+        record = registry.append(name, rows, tag=args.tag, scale=scale)
+        print(
+            f"recorded {name} run {record.run}"
+            + (f" tag {record.tag!r}" if record.tag else "")
+            + f" ({len(rows)} rows) -> {registry.path(name)}"
+        )
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    from pathlib import Path
+
+    from .evalhub import generate_report, write_report
+    from .evalhub.registry import repo_root
+
+    registry = _bench_registry(args)
+    suites = args.suite or None
+    if args.stdout:
+        print(generate_report(registry, suites))
+        return 0
+    if args.out:
+        out = Path(args.out)
+    else:
+        root = repo_root()
+        out = (root if root is not None else Path.cwd()) / "docs" / "RESULTS.md"
+    write_report(out, registry, suites)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_bench_gate(args) -> int:
+    from .evalhub import run_gates
+
+    report = run_gates(
+        registry=_bench_registry(args),
+        path=args.config,
+        suites=args.suite or None,
+    )
+    print(report.render_text())
+    return 1 if report.failed else 0
+
+
+def cmd_bench_suites(args) -> int:
+    from .evalhub.suites import SCALES, SUITES
+
+    print(f"scales: {', '.join(SCALES)}")
+    for name in sorted(SUITES):
+        print(f"{name:10s} {SUITES[name].description}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -532,6 +609,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="show suppressed findings too"
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run, report, and gate recorded benchmark suites",
+        description=(
+            "The evaluation hub: execute a registered suite and append a "
+            "tagged run to the registry under benchmarks/results/, render "
+            "the recorded trajectory as markdown trend tables, or compare "
+            "the latest run against the last comparable baseline under the "
+            "tolerances in benchmarks/gates.toml.  See docs/evaluation.md."
+        ),
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    def add_registry_option(p):
+        p.add_argument(
+            "--results-dir",
+            metavar="DIR",
+            default=None,
+            help="registry root (default: <checkout>/benchmarks/results, "
+            "or $REPRO_RESULTS_DIR)",
+        )
+
+    p_brun = bench_sub.add_parser(
+        "run", help="execute suites and append a tagged run to the registry"
+    )
+    p_brun.add_argument("suites", nargs="+", metavar="SUITE", help="suite names (see `bench suites`)")
+    p_brun.add_argument(
+        "--scale", choices=("smoke", "small", "full"), default="small", help="suite scale"
+    )
+    p_brun.add_argument(
+        "--smoke", action="store_true", help="shorthand for --scale smoke (CI gate mode)"
+    )
+    p_brun.add_argument("--tag", default=None, help="run tag (unique per suite)")
+    add_registry_option(p_brun)
+    p_brun.set_defaults(func=cmd_bench_run)
+
+    p_breport = bench_sub.add_parser(
+        "report", help="render registry trend tables as markdown"
+    )
+    p_breport.add_argument(
+        "--suite", action="append", metavar="NAME", help="restrict to a suite (repeatable)"
+    )
+    p_breport.add_argument(
+        "--out", metavar="PATH", default=None, help="output file (default docs/RESULTS.md)"
+    )
+    p_breport.add_argument(
+        "--stdout", action="store_true", help="print the report instead of writing a file"
+    )
+    add_registry_option(p_breport)
+    p_breport.set_defaults(func=cmd_bench_report)
+
+    p_bgate = bench_sub.add_parser(
+        "gate", help="check the latest runs against the declared tolerances"
+    )
+    p_bgate.add_argument(
+        "--suite", action="append", metavar="NAME", help="restrict to a suite (repeatable)"
+    )
+    p_bgate.add_argument(
+        "--config", metavar="PATH", default=None, help="gate config (default benchmarks/gates.toml)"
+    )
+    add_registry_option(p_bgate)
+    p_bgate.set_defaults(func=cmd_bench_gate)
+
+    p_bsuites = bench_sub.add_parser("suites", help="list the suite catalog")
+    p_bsuites.set_defaults(func=cmd_bench_suites)
 
     return parser
 

@@ -1,0 +1,270 @@
+"""The benchmark suite catalog: every suite the registry can record.
+
+Each :class:`Suite` knows how to execute itself at a named scale
+(``smoke``/``small``/``full``) and return flat registry rows.  The
+paper-reproduction suites (fig6/fig7/fig8/table1/ablation) run through
+:mod:`repro.bench.experiments` and use the ``records`` the experiments
+emit; the engine suites (kernels/serve) drive the measurement code in
+``benchmarks/bench_kernels.py`` / ``benchmarks/bench_serve.py`` — one
+code path whether invoked standalone or via ``repro bench run``.
+
+At ``smoke`` scale the kernels and serve suites *first* run their hard
+correctness gates (kernel == generic, zero torn reads, scatter budget)
+and only then record the timed rows, so a CI smoke run is both a
+correctness check and a gated data point.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .registry import repo_root
+
+#: The named scales every suite understands.
+SCALES = ("smoke", "small", "full")
+
+
+class SuiteError(ReproError):
+    """A suite failed its correctness checks; nothing was recorded."""
+
+
+@dataclass
+class TrendSpec:
+    """One metric the trend report tracks across runs for a suite.
+
+    ``key`` names the row fields that identify a comparable row across
+    runs (e.g. ``("name", "edges")`` — the same benchmark at the same
+    size); ``direction`` says which way is better.
+    """
+
+    metric: str
+    key: Tuple[str, ...] = ("name",)
+    direction: str = "higher"
+
+
+@dataclass
+class Suite:
+    name: str
+    description: str
+    runner: Callable[[str], List[Dict[str, Any]]]
+    trends: Sequence[TrendSpec] = field(default_factory=tuple)
+
+    def run(self, scale: str) -> List[Dict[str, Any]]:
+        if scale not in SCALES:
+            raise SuiteError(
+                f"unknown scale {scale!r}; expected one of {', '.join(SCALES)}"
+            )
+        return self.runner(scale)
+
+
+# ----------------------------------------------------------------------
+# Engine suites: drive benchmarks/bench_kernels.py / bench_serve.py
+# ----------------------------------------------------------------------
+def _load_bench_module(name: str):
+    """Import a ``benchmarks/*.py`` measurement module by location.
+
+    ``benchmarks/`` is deliberately not a package (its files double as
+    pytest-benchmark suites); the registry runner borrows them through a
+    path import so there is exactly one measurement code path.
+    """
+    root = repo_root()
+    bench_dir = root / "benchmarks" if root is not None else None
+    if bench_dir is None or not bench_dir.is_dir():
+        raise SuiteError(
+            f"cannot locate benchmarks/ (not running from a checkout); "
+            f"suite {name!r} needs the measurement scripts"
+        )
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    return importlib.import_module(name)
+
+
+def _kernels_runner(scale: str) -> List[Dict[str, Any]]:
+    mod = _load_bench_module("bench_kernels")
+    if scale == "smoke":
+        if mod.smoke() != 0:
+            raise SuiteError("kernels smoke checks failed (kernel != generic)")
+        return mod.run_full(edges_sweep=(2_000,), ops=60, repeats=1)
+    if scale == "small":
+        return mod.run_full(edges_sweep=(10_000,), ops=150, repeats=2)
+    return mod.run_full(edges_sweep=(10_000, 100_000), ops=300, repeats=5)
+
+
+def _serve_runner(scale: str) -> List[Dict[str, Any]]:
+    mod = _load_bench_module("bench_serve")
+    if scale == "smoke":
+        rows: List[Dict[str, Any]] = []
+        if mod.smoke(duration=1.5, collect=rows) != 0:
+            raise SuiteError("serve smoke checks failed (isolation/scatter gate)")
+        return rows
+    try:
+        if scale == "small":
+            return mod.run_full((1, 2), duration=2.0, threads=8, edges=1_000)
+        return mod.run_full((1, 2, 4, 8), duration=4.0, threads=8, edges=2_000)
+    except RuntimeError as exc:
+        raise SuiteError(str(exc)) from None
+
+
+# ----------------------------------------------------------------------
+# Paper-reproduction suites: run repro.bench experiments, keep records
+# ----------------------------------------------------------------------
+def _records(*results) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for result in results:
+        if not result.records:
+            raise SuiteError(f"experiment {result.title!r} produced no registry records")
+        rows.extend(result.records)
+    return rows
+
+
+def _fig6_runner(scale: str) -> List[Dict[str, Any]]:
+    from ..bench.experiments import exp1_unit_updates
+
+    params = {
+        "smoke": (("SSSP", "CC"), ("LJ",), 0.06, 4),
+        "small": (("SSSP", "CC", "Sim", "DFS", "LCC"), ("LJ", "TW"), 0.2, 10),
+        "full": (
+            ("SSSP", "CC", "Sim", "DFS", "LCC"),
+            ("WD", "LJ", "DP", "OKT", "TW", "FS"),
+            0.3,
+            15,
+        ),
+    }[scale]
+    classes, datasets, data_scale, n_updates = params
+    return _records(
+        *(
+            exp1_unit_updates(qc, scale=data_scale, n_updates=n_updates, datasets=datasets)
+            for qc in classes
+        )
+    )
+
+
+#: The Figure-7 (query class, dataset, |ΔG| percentages) sweep per scale.
+_FIG7_COMBOS = {
+    "smoke": ((("SSSP", "FS", (0.02, 0.08)),), 0.06),
+    "small": (
+        (
+            ("SSSP", "FS", (0.02, 0.08, 0.32)),
+            ("CC", "OKT", (0.04, 0.16, 0.64)),
+        ),
+        0.3,
+    ),
+    "full": (
+        (
+            ("SSSP", "FS", (0.02, 0.04, 0.08, 0.16, 0.32)),
+            ("SSSP", "TW", (0.02, 0.04, 0.08, 0.16, 0.32)),
+            ("CC", "OKT", (0.04, 0.08, 0.16, 0.32, 0.64)),
+            ("Sim", "DP", (0.02, 0.04, 0.16, 0.64)),
+            ("LCC", "LJ", (0.02, 0.04, 0.08, 0.16, 0.32)),
+            ("DFS", "OKT", (0.005, 0.01, 0.02, 0.04, 0.08)),
+        ),
+        0.5,
+    ),
+}
+
+
+def _fig7_runner(scale: str) -> List[Dict[str, Any]]:
+    from ..bench.experiments import exp2_vary_delta
+
+    combos, data_scale = _FIG7_COMBOS[scale]
+    return _records(
+        *(exp2_vary_delta(qc, ds, pcts, scale=data_scale) for qc, ds, pcts in combos)
+    )
+
+
+def _fig8_runner(scale: str) -> List[Dict[str, Any]]:
+    from ..bench.experiments import exp4_memory
+
+    return _records(exp4_memory(scale={"smoke": 0.06, "small": 0.2, "full": 0.3}[scale]))
+
+
+def _table1_runner(scale: str) -> List[Dict[str, Any]]:
+    from ..bench.experiments import table1
+
+    return _records(table1(scale={"smoke": 0.06, "small": 0.3, "full": 0.5}[scale]))
+
+
+def _ablation_runner(scale: str) -> List[Dict[str, Any]]:
+    from ..bench.experiments import ablation_scope
+
+    data_scale, samples = {"smoke": (0.06, 2), "small": (0.2, 4), "full": (0.3, 6)}[scale]
+    return _records(ablation_scope(scale=data_scale, samples=samples))
+
+
+SUITES: Dict[str, Suite] = {
+    suite.name: suite
+    for suite in (
+        Suite(
+            "kernels",
+            "generic vs dense/sparse kernel engine (batch + incremental streams)",
+            _kernels_runner,
+            trends=(
+                TrendSpec("speedup", ("name", "edges")),
+                TrendSpec("touched_mean", ("name", "edges"), direction="lower"),
+            ),
+        ),
+        Suite(
+            "serve",
+            "serving tier load mixes over the shard sweep (throughput, latency, protocol)",
+            _serve_runner,
+            trends=(
+                TrendSpec("throughput_ops_s", ("name", "shards")),
+                TrendSpec("read_p99_ms", ("name", "shards"), direction="lower"),
+                TrendSpec(
+                    "scatters_per_deletion_window", ("name", "shards"), direction="lower"
+                ),
+            ),
+        ),
+        Suite(
+            "fig6",
+            "Figure 6: per-unit-update latency, deduced IncX vs fine-tuned competitor",
+            _fig6_runner,
+            trends=(
+                TrendSpec("inc_ins_ms", ("name",), direction="lower"),
+                TrendSpec("inc_del_ms", ("name",), direction="lower"),
+            ),
+        ),
+        Suite(
+            "fig7",
+            "Figure 7: batch updates of growing |ΔG| — Inc vs batch vs unit loop",
+            _fig7_runner,
+            trends=(TrendSpec("speedup_vs_batch", ("name", "delta_pct")),),
+        ),
+        Suite(
+            "fig8",
+            "Figure 8: memory footprint of Inc state vs batch vs competitor",
+            _fig8_runner,
+            trends=(TrendSpec("inc_over_batch", ("name",), direction="lower"),),
+        ),
+        Suite(
+            "table1",
+            "Table 1: headline batch vs competitor vs deduced A_Δ at |ΔG| = 4%",
+            _table1_runner,
+            trends=(TrendSpec("speedup_vs_batch", ("name",)),),
+        ),
+        Suite(
+            "ablation",
+            "scope-function h vs brute-force PE reset (data accesses)",
+            _ablation_runner,
+            trends=(TrendSpec("access_ratio", ("name",)),),
+        ),
+    )
+}
+
+
+def run_suite(name: str, scale: str = "small") -> List[Dict[str, Any]]:
+    """Execute a catalog suite and return its registry rows."""
+    suite = SUITES.get(name)
+    if suite is None:
+        raise SuiteError(
+            f"unknown suite {name!r}; available: {', '.join(sorted(SUITES))}"
+        )
+    return suite.run(scale)
+
+
+def suite_for(name: str) -> Optional[Suite]:
+    return SUITES.get(name)
