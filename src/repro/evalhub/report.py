@@ -143,7 +143,7 @@ def changed_bins_table(ledgers: Sequence[Ledger]) -> Optional[str]:
                 )
     if not rows:
         return None
-    headers = ["suite", "run", "|CHANGED| bin", "rows", "geomean speedup", "min", "max"]
+    headers = ["suite", "run", "\\|CHANGED\\| bin", "rows", "geomean speedup", "min", "max"]
     return markdown_table(headers, rows)
 
 
